@@ -1,0 +1,120 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Sec. VI) plus the supporting studies from this repository's
+// implementations.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig4 -filemb 64
+//	experiments -run table1|table2|game|rand|alloc|dummy|gc
+//
+// The numbers come from running the real Go implementations under the
+// per-testbed virtual cost profiles; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobiceal/internal/experiments"
+)
+
+func main() {
+	runWhat := flag.String("run", "all", "fig4|table1|table2|game|rand|alloc|dummy|volumes|smallfile|gc|all")
+	fileMB := flag.Int("filemb", 32, "test file size in MiB for throughput experiments")
+	trials := flag.Int("trials", 20, "trials per security-game configuration")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	if err := run(*runWhat, *fileMB, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(what string, fileMB, trials int, seed uint64) error {
+	all := what == "all"
+	if all || what == "fig4" {
+		fmt.Println("== Figure 4: sequential throughput (Nexus 4 profile) ==")
+		rows, err := experiments.Fig4(experiments.Fig4Config{FileMB: fileMB, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig4(rows))
+	}
+	if all || what == "table1" {
+		fmt.Println("== Table I: overhead comparison (per-testbed profiles) ==")
+		rows, err := experiments.TableI(experiments.TableIConfig{FileMB: fileMB / 2, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTableI(rows))
+	}
+	if all || what == "table2" {
+		fmt.Println("== Table II: initialization, boot and switching times ==")
+		rows, err := experiments.TableII(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTableII(rows))
+	}
+	if all || what == "game" {
+		fmt.Println("== Multi-snapshot security game (Def. III.1, empirical) ==")
+		rows, err := experiments.SecurityGame(trials, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatGame(rows))
+	}
+	if all || what == "rand" {
+		fmt.Println("== Randomness study (Lemma VI.1 indistinguishability) ==")
+		rows, err := experiments.RandomnessStudy(200, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatRandomness(rows))
+	}
+	if all || what == "alloc" {
+		fmt.Println("== Ablation: allocation strategy (Sec. IV-B) ==")
+		rows, err := experiments.AblationAllocator(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAllocator(rows))
+	}
+	if all || what == "dummy" {
+		fmt.Println("== Ablation: dummy-write rate (Sec. IV-A Q1) ==")
+		rows, err := experiments.AblationDummyRate(seed, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatDummyRate(rows))
+	}
+	if all || what == "volumes" {
+		fmt.Println("== Ablation: virtual volume count n (Sec. IV-C) ==")
+		rows, err := experiments.AblationVolumeCount(seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatVolumeCount(rows))
+	}
+	if all || what == "smallfile" {
+		fmt.Println("== Small-file & rewrite workloads (Bonnie++ phases) ==")
+		rows, err := experiments.SmallFileStudy(experiments.Fig4Config{FileMB: fileMB / 2, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSmallFile(rows))
+	}
+	if all || what == "gc" {
+		fmt.Println("== Garbage-collection policy study (Sec. IV-D) ==")
+		rows, err := experiments.GCStudy(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatGC(rows))
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunEachExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiment harnesses")
+	}
+	for _, what := range []string{"fig4", "table1", "table2", "rand", "alloc", "dummy", "volumes", "smallfile", "gc"} {
+		what := what
+		t.Run(what, func(t *testing.T) {
+			if err := run(what, 8, 4, 1); err != nil {
+				t.Fatalf("run(%s): %v", what, err)
+			}
+		})
+	}
+}
+
+func TestRunGameSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many systems")
+	}
+	if err := run("game", 8, 4, 2); err != nil {
+		t.Fatalf("run(game): %v", err)
+	}
+}
+
+func TestRunUnknownIsNoop(t *testing.T) {
+	// Unknown -run values match nothing and return cleanly.
+	if err := run("bogus", 8, 2, 1); err != nil {
+		t.Fatalf("run(bogus): %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIFullWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	image := filepath.Join(dir, "disk.img")
+
+	// init with one hidden password.
+	if err := run([]string{"init", "-image", image, "-mb", "32",
+		"-volumes", "6", "-decoy", "pub-pw", "-hidden", "hid-pw"}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+
+	// put a public file.
+	src := filepath.Join(dir, "note.txt")
+	if err := os.WriteFile(src, []byte("public note"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"put", "-image", image, "-pass", "pub-pw",
+		"-name", "note.txt", "-from", src}); err != nil {
+		t.Fatalf("public put: %v", err)
+	}
+
+	// put a hidden file using the hidden password through the same verbs.
+	secret := filepath.Join(dir, "secret.txt")
+	if err := os.WriteFile(secret, []byte("hidden payload"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"put", "-image", image, "-pass", "hid-pw",
+		"-name", "secret.txt", "-from", secret}); err != nil {
+		t.Fatalf("hidden put: %v", err)
+	}
+
+	// get both back and compare.
+	outPub := filepath.Join(dir, "note.out")
+	if err := run([]string{"get", "-image", image, "-pass", "pub-pw",
+		"-name", "note.txt", "-to", outPub}); err != nil {
+		t.Fatalf("public get: %v", err)
+	}
+	got, err := os.ReadFile(outPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("public note")) {
+		t.Fatalf("public roundtrip = %q", got)
+	}
+	outHid := filepath.Join(dir, "secret.out")
+	if err := run([]string{"get", "-image", image, "-pass", "hid-pw",
+		"-name", "secret.txt", "-to", outHid}); err != nil {
+		t.Fatalf("hidden get: %v", err)
+	}
+	got, err = os.ReadFile(outHid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hidden payload")) {
+		t.Fatalf("hidden roundtrip = %q", got)
+	}
+
+	// ls works for both passwords; rm removes.
+	if err := run([]string{"ls", "-image", image, "-pass", "pub-pw"}); err != nil {
+		t.Fatalf("ls: %v", err)
+	}
+	if err := run([]string{"rm", "-image", image, "-pass", "pub-pw",
+		"-name", "note.txt"}); err != nil {
+		t.Fatalf("rm: %v", err)
+	}
+	if err := run([]string{"get", "-image", image, "-pass", "pub-pw",
+		"-name", "note.txt", "-to", outPub}); err == nil {
+		t.Fatal("get of removed file succeeded")
+	}
+
+	// gc with the hidden volume protected; hidden data survives.
+	if err := run([]string{"gc", "-image", image, "-hidden", "hid-pw"}); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if err := run([]string{"get", "-image", image, "-pass", "hid-pw",
+		"-name", "secret.txt", "-to", outHid}); err != nil {
+		t.Fatalf("hidden get after gc: %v", err)
+	}
+
+	// check: pool and per-volume fsck.
+	if err := run([]string{"check", "-image", image}); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if err := run([]string{"check", "-image", image, "-pass", "hid-pw"}); err != nil {
+		t.Fatalf("check hidden: %v", err)
+	}
+
+	// snapshots copy the image.
+	snap := filepath.Join(dir, "snap.img")
+	if err := run([]string{"snap", "-image", image, "-to", snap}); err != nil {
+		t.Fatalf("snap: %v", err)
+	}
+	a, err := os.Stat(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatalf("snapshot size %d != image %d", b.Size(), a.Size())
+	}
+}
+
+func TestCLIWrongPassword(t *testing.T) {
+	dir := t.TempDir()
+	image := filepath.Join(dir, "disk.img")
+	if err := run([]string{"init", "-image", image, "-mb", "32",
+		"-decoy", "right"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"ls", "-image", image, "-pass", "wrong"}); err == nil {
+		t.Fatal("ls with wrong password succeeded")
+	}
+	// gc with an unknown hidden password must refuse (no volume opens).
+	if err := run([]string{"gc", "-image", image, "-hidden", "nope"}); err == nil {
+		t.Fatal("gc with bogus hidden password succeeded")
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"init"},                      // missing flags
+		{"put", "-image", "x"},        // missing flags
+		{"get"},                       // missing flags
+		{"snap", "-image", "no.file"}, // missing -to
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) succeeded", args)
+		}
+	}
+}

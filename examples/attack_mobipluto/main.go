@@ -1,0 +1,177 @@
+// Multi-snapshot attack demonstration: the same adversary procedure defeats
+// MobiPluto (the paper's single-snapshot-secure predecessor) and fails
+// against MobiCeal — the core experimental claim of the paper (Secs. II-B,
+// IV-A).
+//
+// MobiPluto hides the hidden volume in the random fill at a secret offset;
+// its writes change blocks the pool never allocated, so a diff of two
+// snapshots exposes them. MobiCeal routes every write — public, hidden,
+// dummy — through the same allocation machinery, making hidden changes
+// deniable as dummy writes.
+//
+//	go run ./examples/attack_mobipluto
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobiceal"
+	"mobiceal/internal/adversary"
+	"mobiceal/internal/baseline/mobipluto"
+	"mobiceal/internal/minifs"
+	"mobiceal/internal/prng"
+	"mobiceal/internal/storage"
+	"mobiceal/internal/xcrypto"
+)
+
+const blockSize = 4096
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Part 1: MobiPluto under a multi-snapshot adversary ===")
+	if err := attackMobiPluto(); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Part 2: the same adversary against MobiCeal ===")
+	return attackMobiCeal()
+}
+
+func attackMobiPluto() error {
+	dev := storage.NewMemDevice(blockSize, 8192)
+	sys, err := mobipluto.Setup(dev, mobipluto.Config{
+		KDFIter: 64,
+		Entropy: prng.NewSeededEntropy(7),
+	}, "decoy")
+	if err != nil {
+		return err
+	}
+	pubDev, err := sys.OpenPublic("decoy")
+	if err != nil {
+		return err
+	}
+	pubFS, err := minifs.Format(pubDev, 512)
+	if err != nil {
+		return err
+	}
+	hidDev, err := sys.OpenHidden("secret-pw")
+	if err != nil {
+		return err
+	}
+	hidFS, err := minifs.Format(hidDev, 128)
+	if err != nil {
+		return err
+	}
+	if err := sys.Pool().Commit(); err != nil {
+		return err
+	}
+	snap1 := dev.Snapshot()
+	fmt.Println("snapshot #1 taken (disk is fully random-filled; hidden volume invisible)")
+
+	// The user stores hidden data — and public data, following best
+	// practice. It will not help.
+	if err := writeBlocks(hidFS, "secrets", 30, 100); err != nil {
+		return err
+	}
+	if err := writeBlocks(pubFS, "cover", 120, 101); err != nil {
+		return err
+	}
+	if err := sys.Pool().Commit(); err != nil {
+		return err
+	}
+	snap2 := dev.Snapshot()
+	fmt.Println("user stored 30 hidden + 120 public blocks; snapshot #2 taken")
+
+	metaBlocks := dev.NumBlocks() - sys.DataBlocks() - xcrypto.FooterBlocks(blockSize)
+	report, err := adversary.AnalyzeDiff(snap1, snap2, metaBlocks, sys.DataBlocks(), mobipluto.PublicVolumeID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adversary diff: %d changed, %d owned by public, %d UNACCOUNTABLE\n",
+		report.Changed, report.PublicChanged, len(report.Unaccountable))
+	if len(report.Unaccountable) > 0 {
+		fmt.Println("-> blocks changed that the pool bitmap says are free: only a hidden")
+		fmt.Println("   volume writes there. Deniability BROKEN; coercion continues.")
+	}
+	return nil
+}
+
+func attackMobiCeal() error {
+	dev := mobiceal.NewMemDevice(blockSize, 8192)
+	sys, err := mobiceal.Setup(dev, mobiceal.Config{
+		NumVolumes: 8,
+		KDFIter:    64,
+		Entropy:    prng.NewSeededEntropy(8),
+		Seed:       8,
+		SeedSet:    true,
+	}, "decoy", []string{"secret-pw"})
+	if err != nil {
+		return err
+	}
+	pub, err := sys.OpenPublic("decoy")
+	if err != nil {
+		return err
+	}
+	pubFS, err := pub.Format()
+	if err != nil {
+		return err
+	}
+	hid, err := sys.OpenHidden("secret-pw")
+	if err != nil {
+		return err
+	}
+	hidFS, err := hid.Format()
+	if err != nil {
+		return err
+	}
+	if err := sys.Commit(); err != nil {
+		return err
+	}
+	snap1 := dev.Snapshot()
+	fmt.Println("snapshot #1 taken")
+
+	if err := writeBlocks(hidFS, "secrets", 30, 200); err != nil {
+		return err
+	}
+	if err := writeBlocks(pubFS, "cover", 120, 201); err != nil {
+		return err
+	}
+	if err := sys.Commit(); err != nil {
+		return err
+	}
+	snap2 := dev.Snapshot()
+	fmt.Println("user stored 30 hidden + 120 public blocks; snapshot #2 taken")
+
+	report, err := mobiceal.AnalyzeSnapshots(dev, snap1, snap2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adversary diff: %d changed, %d owned by public, %d owned by other volumes, %d unaccountable\n",
+		report.Changed, report.PublicChanged, report.NonPublicChanged, len(report.Unaccountable))
+	if len(report.Unaccountable) == 0 {
+		fmt.Println("-> every changed block is in the allocation machinery; the non-public")
+		fmt.Println("   ones read as uniform noise, exactly what dummy writes produce.")
+		fmt.Println("   The hidden writes are DENIABLE as dummy writes.")
+	}
+	return nil
+}
+
+func writeBlocks(fs *minifs.FS, name string, blocks int, seed uint64) error {
+	data := make([]byte, blocks*blockSize)
+	if _, err := prng.NewSource(seed).Read(data); err != nil {
+		return err
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	return fs.Sync()
+}

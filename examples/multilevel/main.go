@@ -1,0 +1,121 @@
+// Multi-level deniability (paper Sec. IV-C): several hidden volumes behind
+// different passwords. Under escalating coercion the owner can sacrifice a
+// low-sensitivity hidden volume as a convincing "confession" while the
+// deeper level stays deniable — the adversary cannot tell how many hidden
+// volumes exist because every volume index is password-derived and dummy
+// volumes look identical.
+//
+//	go run ./examples/multilevel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobiceal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dev := mobiceal.NewMemDevice(4096, 16384)
+
+	// n = 12 virtual volumes; three are hidden. The adversary knows n
+	// (it's in the plaintext metadata) but not how many are hidden.
+	sys, err := mobiceal.Setup(dev, mobiceal.Config{NumVolumes: 12},
+		"everyday-password", []string{
+			"level1-private",   // mildly embarrassing
+			"level2-work",      // confidential work product
+			"level3-explosive", // the data that must never surface
+		})
+	if err != nil {
+		return err
+	}
+
+	pub, err := sys.OpenPublic("everyday-password")
+	if err != nil {
+		return err
+	}
+	if _, err := pub.Format(); err != nil {
+		return err
+	}
+
+	levels := map[string]string{
+		"level1-private":   "diary.txt",
+		"level2-work":      "merger-drafts.doc",
+		"level3-explosive": "evidence.zip",
+	}
+	for pwd, file := range levels {
+		vol, err := sys.OpenHidden(pwd)
+		if err != nil {
+			return err
+		}
+		fs, err := vol.Format()
+		if err != nil {
+			return err
+		}
+		f, err := fs.Create(file)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt([]byte("content of "+file), 0); err != nil {
+			return err
+		}
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+		fmt.Printf("level %q -> volume V%-2d holds %s\n", pwd, vol.ID(), file)
+	}
+	if err := sys.Commit(); err != nil {
+		return err
+	}
+
+	fmt.Println("\n--- interrogation ---")
+	fmt.Println("adversary: 'a decoy password? we know about PDE. give us the hidden one.'")
+
+	// The owner gives up level 1 — a real hidden volume with believable
+	// private content. This is a credible full confession.
+	vol, err := sys.OpenHidden("level1-private")
+	if err != nil {
+		return err
+	}
+	fs, err := vol.Mount()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("owner reveals %q: V%d contains %v\n", "level1-private", vol.ID(), fs.List())
+	fmt.Println("adversary finds a private diary — exactly what a hidden volume should hold.")
+
+	// Nothing distinguishes the remaining hidden volumes from dummies.
+	fmt.Println("\nremaining volumes (as the adversary sees them):")
+	for id := 2; id <= sys.NumVolumes(); id++ {
+		if id == vol.ID() {
+			continue
+		}
+		mapped, err := sys.Pool().MappedBlocks(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  V%-2d: %d mapped blocks of uniform noise\n", id, mapped)
+	}
+	fmt.Println("each could be a dummy volume — two of them aren't, and nothing proves it.")
+
+	// Deeper levels remain intact.
+	for _, pwd := range []string{"level2-work", "level3-explosive"} {
+		v, err := sys.OpenHidden(pwd)
+		if err != nil {
+			return err
+		}
+		vfs, err := v.Mount()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nowner (later, in private) opens %q: %v", pwd, vfs.List())
+	}
+	fmt.Println()
+	return nil
+}

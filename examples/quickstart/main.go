@@ -1,0 +1,123 @@
+// Quickstart: create a MobiCeal device, store public and hidden data, and
+// see what each password reveals.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+
+	"mobiceal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 64 MiB simulated flash device (eMMC behind an FTL is just a block
+	// device, which is all MobiCeal needs).
+	dev := mobiceal.NewMemDevice(4096, 16384)
+
+	// Initialize with a decoy password and one hidden password. Eight
+	// virtual volumes are created: V1 public, one secretly hidden, the
+	// rest dummy.
+	sys, err := mobiceal.Setup(dev, mobiceal.Config{NumVolumes: 8},
+		"decoy-password", []string{"hidden-password"})
+	if err != nil {
+		return err
+	}
+	fmt.Println("device initialized: 8 virtual volumes (which one is hidden? the disk won't tell)")
+
+	// Daily use: the public volume under the decoy password.
+	pub, err := sys.OpenPublic("decoy-password")
+	if err != nil {
+		return err
+	}
+	pubFS, err := pub.Format()
+	if err != nil {
+		return err
+	}
+	if err := writeFile(pubFS, "shopping-list.txt", "milk, eggs, bread"); err != nil {
+		return err
+	}
+	fmt.Println("public volume: stored shopping-list.txt")
+
+	// Sensitive use: the hidden volume under the hidden password.
+	hid, err := sys.OpenHidden("hidden-password")
+	if err != nil {
+		return err
+	}
+	hidFS, err := hid.Format()
+	if err != nil {
+		return err
+	}
+	if err := writeFile(hidFS, "sources.txt", "whistleblower contact: ..."); err != nil {
+		return err
+	}
+	fmt.Printf("hidden volume (V%d): stored sources.txt\n", hid.ID())
+	if err := sys.Commit(); err != nil {
+		return err
+	}
+
+	// Coercion: the owner reveals only the decoy password.
+	fmt.Println("\n--- device seized; owner discloses the decoy password ---")
+	seized, err := sys.OpenPublic("decoy-password")
+	if err != nil {
+		return err
+	}
+	seizedFS, err := seized.Mount()
+	if err != nil {
+		return err
+	}
+	fmt.Println("adversary sees:", seizedFS.List())
+
+	// Guessing passwords opens nothing.
+	if _, err := sys.OpenHidden("password123"); errors.Is(err, mobiceal.ErrBadPassword) {
+		fmt.Println("adversary guesses a password: opens nothing, proves nothing")
+	}
+
+	// The owner, later and in private, still has the data.
+	back, err := sys.OpenHidden("hidden-password")
+	if err != nil {
+		return err
+	}
+	backFS, err := back.Mount()
+	if err != nil {
+		return err
+	}
+	content, err := readFile(backFS, "sources.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("owner re-opens hidden volume: sources.txt = %q\n", content)
+	return nil
+}
+
+func writeFile(fs *mobiceal.FS, name, content string) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt([]byte(content), 0); err != nil {
+		return err
+	}
+	return fs.Sync()
+}
+
+func readFile(fs *mobiceal.FS, name string) (string, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,214 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobiceal/internal/storage"
+	"mobiceal/internal/thinp"
+)
+
+// MetaView is the adversary's parse of a snapshot's pool metadata: the
+// global bitmap and per-volume physical block ownership. It is built from
+// the plaintext metadata region the design deliberately leaves readable
+// (Sec. IV-B).
+type MetaView struct {
+	// Allocated marks each data-region block allocated in the bitmap.
+	Allocated *thinp.Bitmap
+	// Owner maps physical data-region blocks to the owning thin id.
+	Owner map[uint64]int
+	// MappedCount is per-volume mapped block counts.
+	MappedCount map[int]uint64
+	// VolumeIDs lists the thin ids.
+	VolumeIDs []int
+}
+
+// InspectPool parses the thin-pool metadata of a snapshot given the region
+// split (which the adversary derives from the public design).
+func InspectPool(snap *storage.Snapshot, metaBlocks, dataBlocks uint64) (*MetaView, error) {
+	metaDev, err := storage.NewSliceDevice(snap, 0, metaBlocks)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: metadata region: %w", err)
+	}
+	dataDev, err := storage.NewSliceDevice(snap, metaBlocks, dataBlocks)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: data region: %w", err)
+	}
+	pool, err := thinp.OpenPool(dataDev, metaDev, thinp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: parsing pool metadata: %w", err)
+	}
+	view := &MetaView{
+		Owner:       make(map[uint64]int),
+		MappedCount: make(map[int]uint64),
+		VolumeIDs:   pool.ThinIDs(),
+	}
+	bm := thinp.NewBitmap(dataBlocks)
+	for _, id := range view.VolumeIDs {
+		vbs, err := pool.MappedVBlocks(id)
+		if err != nil {
+			return nil, err
+		}
+		view.MappedCount[id] = uint64(len(vbs))
+		pbs, err := pool.PhysicalBlocks(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, pb := range pbs {
+			view.Owner[pb] = id
+			if err := bm.Set(pb); err != nil {
+				return nil, err
+			}
+		}
+	}
+	view.Allocated = bm
+	return view, nil
+}
+
+// DiffReport is the outcome of correlating two snapshots against the later
+// snapshot's metadata.
+type DiffReport struct {
+	// Changed is the total number of differing blocks in the data region.
+	Changed int
+	// MetaChanged counts differing blocks in the metadata region.
+	MetaChanged int
+	// Unaccountable lists changed data-region blocks (region-relative)
+	// that neither snapshot's bitmap accounts for — direct evidence of
+	// writes outside the visible allocation machinery, the signature that
+	// defeats hidden-volume schemes.
+	Unaccountable []uint64
+	// NonPublicChanged counts changed blocks owned by non-public volumes
+	// (dummy or hidden — indistinguishable by design).
+	NonPublicChanged int
+	// PublicChanged counts changed blocks owned by the public volume V1.
+	PublicChanged int
+	// NonRandomChanged counts changed data blocks that fail the
+	// randomness tests (plaintext-looking writes).
+	NonRandomChanged int
+}
+
+// AnalyzeDiff correlates two snapshots of a thin-pool-based PDE device. The
+// adversary knows the public volume id (V1 by design).
+func AnalyzeDiff(s0, s1 *storage.Snapshot, metaBlocks, dataBlocks uint64, publicID int) (*DiffReport, error) {
+	before, err := InspectPool(s0, metaBlocks, dataBlocks)
+	if err != nil {
+		return nil, err
+	}
+	after, err := InspectPool(s1, metaBlocks, dataBlocks)
+	if err != nil {
+		return nil, err
+	}
+	report := &DiffReport{}
+	for _, abs := range s0.Diff(s1) {
+		switch {
+		case abs < metaBlocks:
+			report.MetaChanged++
+		case abs < metaBlocks+dataBlocks:
+			rel := abs - metaBlocks
+			report.Changed++
+			if !LooksRandom(s1.Block(abs)) {
+				report.NonRandomChanged++
+			}
+			owner, owned := after.Owner[rel]
+			switch {
+			case !owned && !before.Allocated.IsAllocated(rel):
+				report.Unaccountable = append(report.Unaccountable, rel)
+			case owner == publicID:
+				report.PublicChanged++
+			case owned:
+				report.NonPublicChanged++
+			}
+		}
+	}
+	sort.Slice(report.Unaccountable, func(i, j int) bool {
+		return report.Unaccountable[i] < report.Unaccountable[j]
+	})
+	return report, nil
+}
+
+// SeriesVerdict aggregates the adversary's findings over a whole series of
+// snapshots — the realistic "inspected seven times during five years"
+// pattern from the paper's introduction.
+type SeriesVerdict struct {
+	// Reports holds the pairwise analysis of consecutive snapshots.
+	Reports []*DiffReport
+	// TotalUnaccountable sums unaccountable changes across the series.
+	TotalUnaccountable int
+	// TotalNonRandom sums plaintext-looking changes across the series.
+	TotalNonRandom int
+	// Compromised reports whether any epoch yielded hard evidence.
+	Compromised bool
+}
+
+// AnalyzeSeries correlates every consecutive pair in a series of snapshots.
+// Deniability must hold against the *joint* view: a single bad epoch
+// compromises the user even if all others are clean.
+func AnalyzeSeries(snaps []*storage.Snapshot, metaBlocks, dataBlocks uint64, publicID int) (*SeriesVerdict, error) {
+	verdict := &SeriesVerdict{}
+	for i := 1; i < len(snaps); i++ {
+		report, err := AnalyzeDiff(snaps[i-1], snaps[i], metaBlocks, dataBlocks, publicID)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: epoch %d: %w", i, err)
+		}
+		verdict.Reports = append(verdict.Reports, report)
+		verdict.TotalUnaccountable += len(report.Unaccountable)
+		verdict.TotalNonRandom += report.NonRandomChanged
+	}
+	verdict.Compromised = verdict.TotalUnaccountable > 0 || verdict.TotalNonRandom > 0
+	return verdict, nil
+}
+
+// MaxSameVolumeRun returns the longest run of physically consecutive
+// allocated blocks owned by a single non-public volume. Under sequential
+// allocation a large hidden file forms one long run — the layout signature
+// of Sec. IV-B's allocation-strategy discussion; under random allocation
+// runs stay short.
+func (v *MetaView) MaxSameVolumeRun(publicID int) int {
+	blocks := make([]uint64, 0, len(v.Owner))
+	for pb := range v.Owner {
+		blocks = append(blocks, pb)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	best, run := 0, 0
+	lastOwner := 0
+	var lastPB uint64
+	for i, pb := range blocks {
+		owner := v.Owner[pb]
+		if owner == publicID {
+			run, lastOwner = 0, 0
+			continue
+		}
+		if i > 0 && pb == lastPB+1 && owner == lastOwner {
+			run++
+		} else {
+			run = 1
+		}
+		if run > best {
+			best = run
+		}
+		lastOwner, lastPB = owner, pb
+	}
+	return best
+}
+
+// DummyCountSuspicion computes the Sec. IV-B count attack: the ratio of
+// observed non-public blocks to the maximum plausibly dummy-written count
+// given the public volume's size and the (public) dummy parameters. Values
+// well above 1 mean the dummy story cannot explain the data — the user
+// stored far more hidden than public data.
+//
+// The plausible bound is E[dummy per public provision] with generous slack:
+// fire rate < 0.5 and mean size E[ceil(Exp(lambda))], times a 3x tail
+// allowance.
+func DummyCountSuspicion(publicBlocks, nonPublicBlocks uint64, lambda float64) float64 {
+	if publicBlocks == 0 {
+		if nonPublicBlocks == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	meanSize := 1 / (1 - math.Exp(-lambda))
+	bound := float64(publicBlocks) * 0.5 * meanSize * 3
+	return float64(nonPublicBlocks) / bound
+}

@@ -1,0 +1,116 @@
+package android
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Vold exposes the vdc command surface of the modified volume daemon
+// (paper Sec. V-B). Supported commands:
+//
+//	cryptfs pde wipe <pub_pwd> <num_vol> [hid_pwd...]   initialize MobiCeal
+//	cryptfs checkpw <pwd>                               boot-time unlock
+//	cryptfs pde switch <pwd>                            fast-switch to hidden
+//	cryptfs pde verifypw <pwd>                          check a hidden password
+//	cryptfs pde gc <hid_pwd> [hid_pwd...]               garbage-collect dummies
+//
+// Responses follow Vold conventions: "200 0 OK" on success; the switch and
+// verify commands answer "-1" for a wrong password, exactly as the paper's
+// switching function does. gc requires every hidden password so the
+// corresponding volumes are protected (the Sec. IV-D hidden-mode rule).
+type Vold struct {
+	phone *MobiCealPhone
+}
+
+// NewVold wraps a phone with the vdc command surface.
+func NewVold(phone *MobiCealPhone) *Vold { return &Vold{phone: phone} }
+
+// Command parses and executes one vdc command line.
+func (v *Vold) Command(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "cryptfs" {
+		return "", fmt.Errorf("android: unknown vdc command %q", line)
+	}
+	switch fields[1] {
+	case "pde":
+		return v.pde(fields[2:])
+	case "checkpw":
+		if len(fields) != 3 {
+			return "", fmt.Errorf("android: usage: cryptfs checkpw <pwd>")
+		}
+		if err := v.phone.Boot(fields[2]); err != nil {
+			return "-1", nil //nolint:nilerr // Vold signals bad passwords in-band
+		}
+		return "200 0 OK", nil
+	default:
+		return "", fmt.Errorf("android: unknown cryptfs subcommand %q", fields[1])
+	}
+}
+
+func (v *Vold) pde(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("android: usage: cryptfs pde <wipe|switch> ...")
+	}
+	switch args[0] {
+	case "wipe":
+		// vdc cryptfs pde wipe <pub_pwd> <num_vol> <hid_pwds...>
+		if len(args) < 3 {
+			return "", fmt.Errorf("android: usage: cryptfs pde wipe <pub_pwd> <num_vol> [hid_pwd...]")
+		}
+		numVol, err := strconv.Atoi(args[2])
+		if err != nil {
+			return "", fmt.Errorf("android: num_vol %q: %w", args[2], err)
+		}
+		v.phone.cfg.NumVolumes = numVol
+		if err := v.phone.Initialize(args[1], args[3:]); err != nil {
+			return "", err
+		}
+		return "200 0 OK", nil
+	case "switch":
+		if len(args) != 2 {
+			return "", fmt.Errorf("android: usage: cryptfs pde switch <pwd>")
+		}
+		if err := v.phone.SwitchToHidden(args[1]); err != nil {
+			if errors.Is(err, ErrBadPassword) {
+				return "-1", nil
+			}
+			return "", err
+		}
+		return "200 0 OK", nil
+	case "verifypw":
+		if len(args) != 2 {
+			return "", fmt.Errorf("android: usage: cryptfs pde verifypw <pwd>")
+		}
+		if v.phone.sys == nil {
+			return "", ErrNotBooted
+		}
+		if _, ok := v.phone.sys.VerifyHidden(args[1]); !ok {
+			return "-1", nil
+		}
+		return "200 0 OK", nil
+	case "gc":
+		if len(args) < 2 {
+			return "", fmt.Errorf("android: usage: cryptfs pde gc <hid_pwd> [hid_pwd...]")
+		}
+		if v.phone.sys == nil {
+			return "", ErrNotBooted
+		}
+		var protected []int
+		for _, pwd := range args[1:] {
+			id, ok := v.phone.sys.VerifyHidden(pwd)
+			if !ok {
+				return "-1", nil
+			}
+			protected = append(protected, id)
+		}
+		report, err := v.phone.sys.GC(protected, nil)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("200 0 reclaimed %d", report.Reclaimed), nil
+	default:
+		return "", fmt.Errorf("android: unknown pde subcommand %q", args[0])
+	}
+}

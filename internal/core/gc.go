@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"mobiceal/internal/prng"
+)
+
+// GCReport summarizes one garbage-collection pass.
+type GCReport struct {
+	// Fraction is the random reclaim percentage drawn for this pass.
+	Fraction float64
+	// Reclaimed counts the discarded dummy blocks.
+	Reclaimed uint64
+	// Scanned counts the candidate blocks examined.
+	Scanned uint64
+}
+
+// GC reclaims a random percentage of the space occupied by dummy writes
+// (paper Sec. IV-D). It must be invoked from hidden mode so the caller can
+// name every volume that actually holds hidden data in protected; those
+// volumes are skipped. GC deliberately never reclaims everything: if all
+// dummy blocks vanished while hidden blocks stayed, a snapshot diff would
+// expose exactly the hidden data, so the reclaim fraction is drawn randomly
+// — skewed high for efficiency (1 - f² for uniform f), clamped to
+// [0.05, 0.95] — and applied to a random subset.
+//
+// Virtual block 0 of every volume (verifier / cover block) is never
+// reclaimed so all non-public volumes keep identical minimum footprints.
+func (s *System) GC(protected []int, src *prng.Source) (GCReport, error) {
+	if src == nil {
+		src = prng.NewSource(s.cfg.Seed + 0x6763)
+	}
+	keep := map[int]bool{PublicVolumeID: true}
+	for _, id := range protected {
+		keep[id] = true
+	}
+	fraction := 1 - func() float64 { f := src.Float64(); return f * f }()
+	if fraction < 0.05 {
+		fraction = 0.05
+	}
+	if fraction > 0.95 {
+		fraction = 0.95
+	}
+	report := GCReport{Fraction: fraction}
+
+	for id := 2; id <= s.cfg.NumVolumes; id++ {
+		if keep[id] {
+			continue
+		}
+		vbs, err := s.pool.MappedVBlocks(id)
+		if err != nil {
+			return report, fmt.Errorf("core: listing volume %d: %w", id, err)
+		}
+		thin, err := s.pool.Thin(id)
+		if err != nil {
+			return report, err
+		}
+		// Random subset of size fraction*len, never touching vblock 0.
+		candidates := vbs[:0:0]
+		for _, vb := range vbs {
+			if vb != 0 {
+				candidates = append(candidates, vb)
+			}
+		}
+		report.Scanned += uint64(len(candidates))
+		src.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		take := int(fraction * float64(len(candidates)))
+		for _, vb := range candidates[:take] {
+			if err := thin.Discard(vb); err != nil {
+				return report, fmt.Errorf("core: discarding block %d of volume %d: %w", vb, id, err)
+			}
+			report.Reclaimed++
+		}
+	}
+	if err := s.pool.Commit(); err != nil {
+		return report, fmt.Errorf("core: committing GC: %w", err)
+	}
+	return report, nil
+}

@@ -1,0 +1,144 @@
+// Package core implements MobiCeal itself: the dummy-write policy, the
+// on-disk layout (metadata | data | crypto footer, Fig. 3), volume setup
+// and opening with multi-level deniability (Sec. IV-B/IV-C), and the
+// dummy-space garbage collector (Sec. IV-D). It composes the substrates:
+// thin provisioning (thinp) with the random allocator, dm-crypt (dm) with
+// XTS (xcrypto), and the crypto footer.
+package core
+
+import (
+	"sync"
+
+	"mobiceal/internal/prng"
+)
+
+// StoredRandPolicy is the paper's dummy-write trigger (Sec. IV-B, V-A).
+//
+// On every provisioning write to the public volume it fires iff
+//
+//	rand <= stored_rand mod x
+//
+// where rand is drawn uniformly from [1, 2x] per decision (bounding the
+// firing probability below 50%) and stored_rand is a random value refreshed
+// only occasionally — the kernel prototype uses jiffies captured at most
+// once per hour — so the adversary cannot learn the current firing rate.
+// When the trigger fires the dummy size is m = Exp(lambda) rounded to whole
+// blocks ("m = m' = -(ln(1-f))/lambda ... if we choose lambda as 1, each
+// dummy write will be allocated one free block on average"); a rounding to
+// zero means the fired dummy write allocates nothing. The write is directed
+// at virtual volume j = (stored_rand mod (n-1)) + 2.
+//
+// StoredRandPolicy is safe for concurrent use.
+type StoredRandPolicy struct {
+	mu sync.Mutex
+
+	x          int
+	lambda     float64
+	numVolumes int
+	publicID   int
+
+	src          *prng.Source
+	storedRand   uint64
+	refreshEvery int // provisioning decisions between stored_rand refreshes
+	sinceRefresh int
+
+	// Counters for experiments.
+	decisions uint64
+	fires     uint64
+	blocks    uint64
+}
+
+// PolicyConfig configures a StoredRandPolicy.
+type PolicyConfig struct {
+	// X is the paper's positive constant x (default 50).
+	X int
+	// Lambda is the exponential rate for dummy sizes (default 1).
+	Lambda float64
+	// NumVolumes is n, the total virtual volume count.
+	NumVolumes int
+	// PublicID is the public volume's thin id (V1).
+	PublicID int
+	// RefreshEvery is how many provisioning decisions pass between
+	// stored_rand refreshes, standing in for the prototype's one-hour
+	// jiffies rule (default 1024).
+	RefreshEvery int
+	// Src drives all random draws; nil seeds a fresh source from zero.
+	Src *prng.Source
+}
+
+// NewStoredRandPolicy returns a policy with the paper's defaults filled in.
+func NewStoredRandPolicy(cfg PolicyConfig) *StoredRandPolicy {
+	if cfg.X <= 0 {
+		cfg.X = 50
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 1024
+	}
+	if cfg.Src == nil {
+		cfg.Src = prng.NewSource(0)
+	}
+	if cfg.PublicID == 0 {
+		cfg.PublicID = 1
+	}
+	p := &StoredRandPolicy{
+		x:            cfg.X,
+		lambda:       cfg.Lambda,
+		numVolumes:   cfg.NumVolumes,
+		publicID:     cfg.PublicID,
+		src:          cfg.Src,
+		refreshEvery: cfg.RefreshEvery,
+	}
+	p.storedRand = p.src.Uint64()
+	return p
+}
+
+// Refresh draws a new stored_rand immediately (the "periodically updated,
+// e.g. daily" rule made explicit for tests and experiments).
+func (p *StoredRandPolicy) Refresh() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.storedRand = p.src.Uint64()
+	p.sinceRefresh = 0
+}
+
+// OnProvision implements thinp.DummyPolicy.
+func (p *StoredRandPolicy) OnProvision(thinID int) (target, count int, fire bool) {
+	if thinID != p.publicID || p.numVolumes < 2 {
+		return 0, 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	p.sinceRefresh++
+	if p.sinceRefresh >= p.refreshEvery {
+		p.storedRand = p.src.Uint64()
+		p.sinceRefresh = 0
+	}
+	p.decisions++
+
+	threshold := p.storedRand % uint64(p.x)
+	randDraw := uint64(p.src.IntRange(1, 2*p.x))
+	if randDraw > threshold {
+		return 0, 0, false
+	}
+	count = p.src.ExpRound(p.lambda)
+	if count < 1 {
+		// The exponential sample rounded to zero blocks: nothing to write.
+		return 0, 0, false
+	}
+	target = int(p.storedRand%uint64(p.numVolumes-1)) + 2
+	p.fires++
+	p.blocks += uint64(count)
+	return target, count, true
+}
+
+// Stats returns (provisioning decisions, dummy writes fired, noise blocks
+// requested) so experiments can report measured rates.
+func (p *StoredRandPolicy) Stats() (decisions, fires, blocks uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.decisions, p.fires, p.blocks
+}

@@ -1,0 +1,94 @@
+package dm
+
+import (
+	"fmt"
+
+	"mobiceal/internal/storage"
+)
+
+// Linear is the dm-linear target: a contiguous remapped range of an
+// underlying device, the building block LVM uses for plain logical volumes.
+type Linear struct {
+	slice *storage.SliceDevice
+}
+
+var _ storage.Device = (*Linear)(nil)
+
+// NewLinear maps blocks [start, start+length) of inner.
+func NewLinear(inner storage.Device, start, length uint64) (*Linear, error) {
+	s, err := storage.NewSliceDevice(inner, start, length)
+	if err != nil {
+		return nil, fmt.Errorf("dm: linear target: %w", err)
+	}
+	return &Linear{slice: s}, nil
+}
+
+// BlockSize implements storage.Device.
+func (l *Linear) BlockSize() int { return l.slice.BlockSize() }
+
+// NumBlocks implements storage.Device.
+func (l *Linear) NumBlocks() uint64 { return l.slice.NumBlocks() }
+
+// ReadBlock implements storage.Device.
+func (l *Linear) ReadBlock(idx uint64, dst []byte) error { return l.slice.ReadBlock(idx, dst) }
+
+// WriteBlock implements storage.Device.
+func (l *Linear) WriteBlock(idx uint64, src []byte) error { return l.slice.WriteBlock(idx, src) }
+
+// Sync implements storage.Device.
+func (l *Linear) Sync() error { return l.slice.Sync() }
+
+// Close implements storage.Device.
+func (l *Linear) Close() error { return nil }
+
+// Zero is the dm-zero target: reads return zeros, writes are discarded. It
+// is used in tests as a bottomless sink and to terminate unused table
+// entries, as on Linux.
+type Zero struct {
+	blockSize int
+	numBlocks uint64
+}
+
+var _ storage.Device = (*Zero)(nil)
+
+// NewZero returns a dm-zero device of the given geometry.
+func NewZero(blockSize int, numBlocks uint64) *Zero {
+	return &Zero{blockSize: blockSize, numBlocks: numBlocks}
+}
+
+// BlockSize implements storage.Device.
+func (z *Zero) BlockSize() int { return z.blockSize }
+
+// NumBlocks implements storage.Device.
+func (z *Zero) NumBlocks() uint64 { return z.numBlocks }
+
+// ReadBlock implements storage.Device.
+func (z *Zero) ReadBlock(idx uint64, dst []byte) error {
+	if idx >= z.numBlocks {
+		return fmt.Errorf("%w: block %d", storage.ErrOutOfRange, idx)
+	}
+	if len(dst) != z.blockSize {
+		return storage.ErrBadBuffer
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// WriteBlock implements storage.Device.
+func (z *Zero) WriteBlock(idx uint64, src []byte) error {
+	if idx >= z.numBlocks {
+		return fmt.Errorf("%w: block %d", storage.ErrOutOfRange, idx)
+	}
+	if len(src) != z.blockSize {
+		return storage.ErrBadBuffer
+	}
+	return nil
+}
+
+// Sync implements storage.Device.
+func (z *Zero) Sync() error { return nil }
+
+// Close implements storage.Device.
+func (z *Zero) Close() error { return nil }

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full storage stacks")
+	}
+	rows, err := Fig4(Fig4Config{FileMB: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(name string) Fig4Row {
+		for _, r := range rows {
+			if r.Stack == name {
+				return r
+			}
+		}
+		t.Fatalf("missing stack %s", name)
+		return Fig4Row{}
+	}
+	android := get("Android")
+	atp := get("A-T-P")
+	ath := get("A-T-H")
+	mcp := get("MC-P")
+	mch := get("MC-H")
+
+	// Fig. 4 shape claim 1: thin provisioning reduces reads noticeably
+	// (~18%) and writes only slightly.
+	readDrop := 1 - atp.DDReadKBps/android.DDReadKBps
+	if readDrop < 0.08 || readDrop > 0.35 {
+		t.Errorf("thin read drop %.2f, want ~0.18", readDrop)
+	}
+	writeDrop := 1 - atp.DDWriteKBps/android.DDWriteKBps
+	if writeDrop > 0.12 {
+		t.Errorf("thin write drop %.2f, want small", writeDrop)
+	}
+	// Claim 2: MobiCeal's kernel changes cost writes ~18% vs A-T and
+	// reads little.
+	mcWriteDrop := 1 - mcp.DDWriteKBps/atp.DDWriteKBps
+	if mcWriteDrop < 0.08 || mcWriteDrop > 0.40 {
+		t.Errorf("MobiCeal write drop vs A-T-P = %.2f, want ~0.18", mcWriteDrop)
+	}
+	mcReadDrop := 1 - mcp.DDReadKBps/atp.DDReadKBps
+	if mcReadDrop > 0.20 {
+		t.Errorf("MobiCeal read drop vs A-T-P = %.2f, want small", mcReadDrop)
+	}
+	// Claim 3: public and hidden volumes perform alike within each system.
+	if ratio := ath.DDWriteKBps / atp.DDWriteKBps; ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("A-T hidden/public write ratio %.2f", ratio)
+	}
+	if ratio := mch.DDReadKBps / mcp.DDReadKBps; ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("MC hidden/public read ratio %.2f", ratio)
+	}
+	t.Logf("\n%s", FormatFig4(rows))
+}
+
+func TestTableIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full storage stacks")
+	}
+	rows, err := TableI(TableIConfig{FileMB: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byScheme := map[string]TableIRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	// Paper Table I: DEFY 93.75%, HIVE 99.55%, MobiCeal 22.05%.
+	if o := byScheme["DEFY"].OverheadPct; o < 80 {
+		t.Errorf("DEFY overhead %.1f%%, want > 80%%", o)
+	}
+	if o := byScheme["HIVE"].OverheadPct; o < 90 {
+		t.Errorf("HIVE overhead %.1f%%, want > 90%%", o)
+	}
+	if o := byScheme["MobiCeal"].OverheadPct; o < 10 || o > 40 {
+		t.Errorf("MobiCeal overhead %.1f%%, want ~22%%", o)
+	}
+	// Raw-platform ordering: nandsim > SSD > Nexus 4.
+	if !(byScheme["DEFY"].PlainMBps > byScheme["HIVE"].PlainMBps &&
+		byScheme["HIVE"].PlainMBps > byScheme["MobiCeal"].PlainMBps) {
+		t.Errorf("platform plain ordering broken: %+v", rows)
+	}
+	t.Logf("\n%s", FormatTableI(rows))
+}
+
+func TestTableIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs phone lifecycles")
+	}
+	rows, err := TableII(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]TableIIRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	fdeRow := byName["Android FDE"]
+	plutoRow := byName["MobiPluto"]
+	mcRow := byName["MobiCeal"]
+	// Paper Table II shape: MobiCeal init (2m16s) << FDE (18m23s) <<
+	// MobiPluto (37m); MobiCeal switch-in < 10s; reboot-based times ~1min.
+	if !(mcRow.Init < fdeRow.Init && fdeRow.Init < plutoRow.Init) {
+		t.Errorf("init ordering broken: MC %v, FDE %v, Pluto %v",
+			mcRow.Init, fdeRow.Init, plutoRow.Init)
+	}
+	if mcRow.Init > 5*time.Minute {
+		t.Errorf("MobiCeal init %v, want minutes", mcRow.Init)
+	}
+	if mcRow.SwitchIn >= 10*time.Second {
+		t.Errorf("MobiCeal switch-in %v, want < 10s", mcRow.SwitchIn)
+	}
+	if plutoRow.SwitchIn < 30*time.Second {
+		t.Errorf("MobiPluto switch-in %v, want reboot-scale", plutoRow.SwitchIn)
+	}
+	if mcRow.SwitchOut < 30*time.Second {
+		t.Errorf("MobiCeal switch-out %v, want reboot-scale", mcRow.SwitchOut)
+	}
+	if fdeRow.HasSwitch {
+		t.Error("FDE reports a mode switch")
+	}
+	// Boot times: all near a second, FDE fastest.
+	if fdeRow.Boot > time.Second || mcRow.Boot > 3*time.Second {
+		t.Errorf("boot times: FDE %v, MC %v", fdeRow.Boot, mcRow.Boot)
+	}
+	if !(fdeRow.Boot < plutoRow.Boot && plutoRow.Boot < mcRow.Boot) {
+		t.Errorf("boot ordering broken: FDE %v < Pluto %v < MC %v",
+			fdeRow.Boot, plutoRow.Boot, mcRow.Boot)
+	}
+	t.Logf("\n%s", FormatTableII(rows))
+}
+
+func TestRandomnessStudy(t *testing.T) {
+	rows, err := RandomnessStudy(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := map[string]RandRow{}
+	for _, r := range rows {
+		byClass[r.Class] = r
+	}
+	for _, class := range []string{"dummy-noise", "xts-ciphertext", "xts-of-zeros"} {
+		if rate := byClass[class].PassRate; rate < 0.97 {
+			t.Errorf("%s pass rate %.2f, want ~1.0", class, rate)
+		}
+	}
+	for _, class := range []string{"ascii-text", "zeros"} {
+		if rate := byClass[class].PassRate; rate > 0.01 {
+			t.Errorf("%s pass rate %.2f, want 0", class, rate)
+		}
+	}
+}
+
+func TestAblationAllocator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full systems")
+	}
+	rows, err := AblationAllocator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlloc := map[string]AllocRow{}
+	for _, r := range rows {
+		byAlloc[r.Allocator] = r
+	}
+	if byAlloc["random"].Detected {
+		t.Errorf("random allocation detected (max run %d)", byAlloc["random"].MaxRun)
+	}
+	if !byAlloc["sequential"].Detected {
+		t.Errorf("sequential allocation not detected (max run %d)", byAlloc["sequential"].MaxRun)
+	}
+	t.Logf("\n%s", FormatAllocator(rows))
+}
+
+func TestAblationDummyRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full systems")
+	}
+	rows, err := AblationDummyRate(1, []float64{0.5, 2}, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Lower lambda = bigger dummy writes = more amplification and less
+	// throughput.
+	if rows[0].WriteAmp <= rows[1].WriteAmp {
+		t.Errorf("lambda=0.5 amp %.3f <= lambda=2 amp %.3f",
+			rows[0].WriteAmp, rows[1].WriteAmp)
+	}
+	if rows[0].ThroughputMBs >= rows[1].ThroughputMBs {
+		t.Errorf("lambda=0.5 throughput %.2f >= lambda=2 %.2f",
+			rows[0].ThroughputMBs, rows[1].ThroughputMBs)
+	}
+	t.Logf("\n%s", FormatDummyRate(rows))
+}
+
+func TestGCStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full systems")
+	}
+	rows, err := GCStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]GCRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	randomRow := byPolicy["random-fraction"]
+	fullRow := byPolicy["reclaim-all"]
+	if randomRow.HiddenExposed {
+		t.Error("random-fraction GC exposed the hidden volume")
+	}
+	if !fullRow.HiddenExposed {
+		t.Error("reclaim-all GC did not expose the hidden volume (expected exposure)")
+	}
+	if randomRow.Reclaimed == 0 {
+		t.Error("random-fraction GC reclaimed nothing")
+	}
+	if randomRow.DummyRemaining == 0 {
+		t.Error("random-fraction GC left no dummy cover")
+	}
+	t.Logf("\n%s", FormatGC(rows))
+}
+
+func TestAblationVolumeCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs phone lifecycles")
+	}
+	rows, err := AblationVolumeCount(1, []int{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Init and boot grow monotonically with n (per-volume create/activate).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Init <= rows[i-1].Init {
+			t.Errorf("init not monotone: n=%d %v <= n=%d %v",
+				rows[i].NumVolumes, rows[i].Init, rows[i-1].NumVolumes, rows[i-1].Init)
+		}
+		if rows[i].Boot <= rows[i-1].Boot {
+			t.Errorf("boot not monotone: n=%d %v <= n=%d %v",
+				rows[i].NumVolumes, rows[i].Boot, rows[i-1].NumVolumes, rows[i-1].Boot)
+		}
+	}
+	// Space cost of setup stays tiny: one cover/verifier block per
+	// non-public volume plus the public FS.
+	if rows[2].SetupCost-rows[0].SetupCost > 64 {
+		t.Errorf("setup cost grew too fast: %d -> %d blocks",
+			rows[0].SetupCost, rows[2].SetupCost)
+	}
+	t.Logf("\n%s", FormatVolumeCount(rows))
+}
+
+func TestSmallFileStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full storage stacks")
+	}
+	rows, err := SmallFileStudy(Fig4Config{FileMB: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStack := map[string]SmallFileRow{}
+	for _, r := range rows {
+		byStack[r.Stack] = r
+	}
+	atp := byStack["A-T-P"]
+	mcp := byStack["MC-P"]
+	// Create phase is allocation-heavy: MobiCeal pays its dummy-write
+	// cost there.
+	if mcp.CreateKBps >= atp.CreateKBps {
+		t.Errorf("MC-P create %.0f >= A-T-P %.0f (dummy cost missing)",
+			mcp.CreateKBps, atp.CreateKBps)
+	}
+	// Rewrite provisions nothing, so dummy writes never fire. The residual
+	// MC gap versus A-T is the random physical layout (scattered blocks
+	// pay random-access penalties) — and because it is layout, not dummy
+	// traffic, MC-P and MC-H must show the SAME rewrite throughput.
+	mch := byStack["MC-H"]
+	if ratio := mcp.RewriteKBps / atp.RewriteKBps; ratio < 0.75 {
+		t.Errorf("MC-P rewrite at %.2f of A-T-P — more than layout cost", ratio)
+	}
+	if ratio := mcp.RewriteKBps / mch.RewriteKBps; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("MC-P/MC-H rewrite ratio %.2f — dummy writes fired on overwrites?", ratio)
+	}
+	t.Logf("\n%s", FormatSmallFile(rows))
+}
+
+func TestSecurityGameStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full systems")
+	}
+	rows, err := SecurityGame(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mobiPluto GameRow
+	var mcSmall GameRow
+	for _, r := range rows {
+		if r.System == "MobiPluto" {
+			mobiPluto = r
+		}
+		if r.System == "MobiCeal" && r.HiddenBlocks == 20 {
+			mcSmall = r
+		}
+	}
+	if mobiPluto.Advantage < 0.3 {
+		t.Errorf("MobiPluto advantage %.2f, want near max", mobiPluto.Advantage)
+	}
+	if mcSmall.Advantage > 0.35 {
+		t.Errorf("MobiCeal advantage %.2f at small hidden traffic", mcSmall.Advantage)
+	}
+	t.Logf("\n%s", FormatGame(rows))
+}

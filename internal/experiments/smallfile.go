@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mobiceal/internal/vclock"
+	"mobiceal/internal/workload"
+)
+
+// SmallFileRow is one stack in the metadata-heavy workload study.
+type SmallFileRow struct {
+	Stack       string
+	CreateKBps  float64 // many small files (Bonnie++ create phase)
+	RewriteKBps float64 // read-modify-write over one file (rewrite phase)
+}
+
+// SmallFileStudy complements Fig. 4's sequential numbers with Bonnie++'s
+// other phases: small-file creation (metadata-heavy, provisioning-heavy —
+// the worst case for dummy writes, since every new block is an allocation)
+// and rewrite (no provisioning at all — dummy writes never fire, so
+// MobiCeal's rewrite throughput should sit at the A-T level).
+func SmallFileStudy(cfg Fig4Config) ([]SmallFileRow, error) {
+	cfg.fill()
+	rows := make([]SmallFileRow, 0, len(StackNames))
+	for _, name := range StackNames {
+		st, err := NewStack(name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", name, err)
+		}
+		row := SmallFileRow{Stack: name}
+
+		// Create phase: 256 files of 8 KB.
+		sw := vclock.NewStopwatch(st.Clock)
+		n, err := workload.SmallFiles(st.FS, "sf", 256, 8*1024, cfg.Seed+3)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s create phase: %w", name, err)
+		}
+		row.CreateKBps = throughputKBps(n, sw.Elapsed())
+
+		// Rewrite phase over a pre-written file (all blocks provisioned).
+		size := int64(cfg.FileMB) << 19 // half the dd size
+		if _, err := workload.SeqWrite(st.FS, "rw.bin", size, 0, cfg.Seed+4); err != nil {
+			return nil, fmt.Errorf("experiments: %s rewrite prep: %w", name, err)
+		}
+		sw = vclock.NewStopwatch(st.Clock)
+		n, err = workload.Rewrite(st.FS, "rw.bin", 8192)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s rewrite phase: %w", name, err)
+		}
+		row.RewriteKBps = throughputKBps(n, sw.Elapsed())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSmallFile renders the study.
+func FormatSmallFile(rows []SmallFileRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s\n", "Stack", "Create (KB/s)", "Rewrite (KB/s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %14.0f %14.0f\n", r.Stack, r.CreateKBps, r.RewriteKBps)
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package minifs
+
+import (
+	"fmt"
+	"io"
+)
+
+// File is a handle to a minifs file. Handles remain valid until the file is
+// removed. File methods are safe for concurrent use (they serialize on the
+// file system lock).
+type File struct {
+	fs   *FS
+	ino  uint32
+	name string
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(f.fs.inodes[f.ino].size)
+}
+
+func (f *File) inodeLocked() (*inode, error) {
+	ind := &f.fs.inodes[f.ino]
+	if ind.mode != modeFile {
+		return nil, ErrClosedFile
+	}
+	return ind, nil
+}
+
+// WriteAt writes p at byte offset off, growing the file as needed. Holes
+// created by sparse writes read back as zeros.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("minifs: negative offset %d", off)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ind, err := f.inodeLocked()
+	if err != nil {
+		return 0, err
+	}
+	bs := uint64(f.fs.sb.blockSize)
+	written := 0
+	buf := make([]byte, bs)
+	for written < len(p) {
+		pos := uint64(off) + uint64(written)
+		fileBlock := pos / bs
+		inBlock := pos % bs
+		n := int(bs - inBlock)
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		abs, err := f.fs.blockFor(ind, fileBlock, true)
+		if err != nil {
+			return written, fmt.Errorf("minifs: mapping block %d: %w", fileBlock, err)
+		}
+		if uint64(n) == bs {
+			// Full-block write: no read-modify-write needed.
+			if err := f.fs.dev.WriteBlock(abs, p[written:written+n]); err != nil {
+				return written, err
+			}
+		} else {
+			if err := f.fs.dev.ReadBlock(abs, buf); err != nil {
+				return written, err
+			}
+			copy(buf[inBlock:], p[written:written+n])
+			if err := f.fs.dev.WriteBlock(abs, buf); err != nil {
+				return written, err
+			}
+		}
+		written += n
+		if pos+uint64(n) > ind.size {
+			ind.size = pos + uint64(n)
+		}
+	}
+	return written, nil
+}
+
+// ReadAt reads into p from byte offset off. It returns io.EOF when the read
+// reaches the end of the file, matching the io.ReaderAt contract.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("minifs: negative offset %d", off)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ind, err := f.inodeLocked()
+	if err != nil {
+		return 0, err
+	}
+	if uint64(off) >= ind.size {
+		return 0, io.EOF
+	}
+	max := ind.size - uint64(off)
+	want := len(p)
+	if uint64(want) > max {
+		want = int(max)
+	}
+	bs := uint64(f.fs.sb.blockSize)
+	read := 0
+	buf := make([]byte, bs)
+	for read < want {
+		pos := uint64(off) + uint64(read)
+		fileBlock := pos / bs
+		inBlock := pos % bs
+		n := int(bs - inBlock)
+		if n > want-read {
+			n = want - read
+		}
+		abs, err := f.fs.blockFor(ind, fileBlock, false)
+		if err != nil {
+			return read, fmt.Errorf("minifs: mapping block %d: %w", fileBlock, err)
+		}
+		if abs == 0 {
+			// Hole: zeros.
+			for i := 0; i < n; i++ {
+				p[read+i] = 0
+			}
+		} else {
+			if err := f.fs.dev.ReadBlock(abs, buf); err != nil {
+				return read, err
+			}
+			copy(p[read:read+n], buf[inBlock:inBlock+uint64(n)])
+		}
+		read += n
+	}
+	if read < len(p) {
+		return read, io.EOF
+	}
+	return read, nil
+}
+
+// Truncate sets the file size to size bytes. Shrinking frees whole blocks
+// past the new end; growing creates a hole.
+func (f *File) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("minifs: negative size %d", size)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ind, err := f.inodeLocked()
+	if err != nil {
+		return err
+	}
+	if uint64(size) >= ind.size {
+		ind.size = uint64(size)
+		return nil
+	}
+	bs := uint64(f.fs.sb.blockSize)
+	keepBlocks := (uint64(size) + bs - 1) / bs
+	totalBlocks := (ind.size + bs - 1) / bs
+	for fb := keepBlocks; fb < totalBlocks; fb++ {
+		abs, err := f.fs.blockFor(ind, fb, false)
+		if err != nil {
+			return err
+		}
+		if abs != 0 {
+			f.fs.freeBlock(abs)
+			if err := f.fs.clearMapping(ind, fb); err != nil {
+				return err
+			}
+		}
+	}
+	ind.size = uint64(size)
+	return nil
+}
+
+// clearMapping zeroes the pointer for file block fb. Pointer blocks that
+// become empty are not collapsed; they are freed when the file is removed.
+func (fs *FS) clearMapping(ind *inode, fb uint64) error {
+	p := fs.ptrsPerBlock()
+	switch {
+	case fb < numDirect:
+		ind.direct[fb] = 0
+	case fb < numDirect+p:
+		if ind.indirect == 0 {
+			return nil
+		}
+		ptrs, err := fs.readPtrBlock(ind.indirect)
+		if err != nil {
+			return err
+		}
+		ptrs[fb-numDirect] = 0
+		return fs.writePtrBlock(ind.indirect, ptrs)
+	default:
+		rel := fb - numDirect - p
+		if ind.dindirect == 0 {
+			return nil
+		}
+		outer, err := fs.readPtrBlock(ind.dindirect)
+		if err != nil {
+			return err
+		}
+		if outer[rel/p] == 0 {
+			return nil
+		}
+		inner, err := fs.readPtrBlock(outer[rel/p])
+		if err != nil {
+			return err
+		}
+		inner[rel%p] = 0
+		return fs.writePtrBlock(outer[rel/p], inner)
+	}
+	return nil
+}

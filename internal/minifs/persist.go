@@ -1,0 +1,246 @@
+package minifs
+
+import (
+	"fmt"
+	"sort"
+
+	"mobiceal/internal/storage"
+)
+
+// Sync persists all metadata: the root directory (as inode 1's data), then
+// the superblock, block bitmap and inode table. Data blocks are written
+// through at WriteAt time, so Sync is a metadata flush, matching how a
+// kernel FS commits its dirty caches.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	// 1. Serialize the directory into the root inode (allocates blocks, so
+	//    it must precede the bitmap write).
+	dirBytes := fs.marshalDir()
+	if err := fs.writeInodeData(&fs.inodes[rootIno], dirBytes); err != nil {
+		return fmt.Errorf("minifs: writing root directory: %w", err)
+	}
+	if err := fs.flushPtrBlocks(); err != nil {
+		return fmt.Errorf("minifs: flushing pointer blocks: %w", err)
+	}
+
+	// 2. Superblock.
+	bs := fs.sb.blockSize
+	buf := make([]byte, bs)
+	putUint64(buf[0:], magic)
+	putUint64(buf[8:], uint64(fs.sb.blockSize))
+	putUint64(buf[16:], fs.sb.totalBlocks)
+	putUint64(buf[24:], uint64(fs.sb.inodeCount))
+	putUint64(buf[32:], fs.sb.bitmapStart)
+	putUint64(buf[40:], fs.sb.bitmapBlocks)
+	putUint64(buf[48:], fs.sb.inodeStart)
+	putUint64(buf[56:], fs.sb.inodeBlocks)
+	putUint64(buf[64:], fs.sb.dataStart)
+	if err := fs.dev.WriteBlock(0, buf); err != nil {
+		return fmt.Errorf("minifs: writing superblock: %w", err)
+	}
+
+	// 3. Bitmap.
+	bitmapBytes := make([]byte, int(fs.sb.bitmapBlocks)*bs)
+	for i, used := range fs.bitmap {
+		if used {
+			bitmapBytes[i/8] |= 1 << (i % 8)
+		}
+	}
+	if err := storage.WriteFull(fs.dev, fs.sb.bitmapStart, bitmapBytes); err != nil {
+		return fmt.Errorf("minifs: writing bitmap: %w", err)
+	}
+
+	// 4. Inode table.
+	inodeBytes := make([]byte, int(fs.sb.inodeBlocks)*bs)
+	for i := range fs.inodes {
+		marshalInode(&fs.inodes[i], inodeBytes[i*inodeSize:])
+	}
+	if err := storage.WriteFull(fs.dev, fs.sb.inodeStart, inodeBytes); err != nil {
+		return fmt.Errorf("minifs: writing inode table: %w", err)
+	}
+	return fs.dev.Sync()
+}
+
+// load mounts the file system from the device.
+func (fs *FS) load() error {
+	bs := fs.dev.BlockSize()
+	buf := make([]byte, bs)
+	if err := fs.dev.ReadBlock(0, buf); err != nil {
+		return fmt.Errorf("minifs: reading superblock: %w", err)
+	}
+	if getUint64(buf) != magic {
+		return ErrNotFormatted
+	}
+	fs.sb = superblock{
+		blockSize:    int(getUint64(buf[8:])),
+		totalBlocks:  getUint64(buf[16:]),
+		inodeCount:   uint32(getUint64(buf[24:])),
+		bitmapStart:  getUint64(buf[32:]),
+		bitmapBlocks: getUint64(buf[40:]),
+		inodeStart:   getUint64(buf[48:]),
+		inodeBlocks:  getUint64(buf[56:]),
+		dataStart:    getUint64(buf[64:]),
+	}
+	if fs.sb.blockSize != bs {
+		return fmt.Errorf("%w: block size %d != device %d", ErrNotFormatted, fs.sb.blockSize, bs)
+	}
+	if fs.sb.totalBlocks != fs.dev.NumBlocks() {
+		return fmt.Errorf("%w: size mismatch", ErrNotFormatted)
+	}
+
+	bitmapBytes, err := storage.ReadFull(fs.dev, fs.sb.bitmapStart, fs.sb.bitmapBlocks)
+	if err != nil {
+		return fmt.Errorf("minifs: reading bitmap: %w", err)
+	}
+	fs.bitmap = make([]bool, fs.sb.totalBlocks-fs.sb.dataStart)
+	for i := range fs.bitmap {
+		fs.bitmap[i] = bitmapBytes[i/8]&(1<<(i%8)) != 0
+	}
+
+	inodeBytes, err := storage.ReadFull(fs.dev, fs.sb.inodeStart, fs.sb.inodeBlocks)
+	if err != nil {
+		return fmt.Errorf("minifs: reading inode table: %w", err)
+	}
+	fs.inodes = make([]inode, fs.sb.inodeCount)
+	for i := range fs.inodes {
+		unmarshalInode(&fs.inodes[i], inodeBytes[i*inodeSize:])
+	}
+	fs.ptrCache = make(map[uint64][]uint64)
+	fs.ptrDirty = make(map[uint64]bool)
+	if fs.inodes[rootIno].mode != modeDir {
+		return fmt.Errorf("%w: missing root directory", ErrNotFormatted)
+	}
+
+	dirBytes, err := fs.readInodeData(&fs.inodes[rootIno])
+	if err != nil {
+		return fmt.Errorf("minifs: reading root directory: %w", err)
+	}
+	if err := fs.unmarshalDir(dirBytes); err != nil {
+		return err
+	}
+	return nil
+}
+
+func marshalInode(ind *inode, b []byte) {
+	putUint64(b[0:], uint64(ind.mode))
+	putUint64(b[8:], ind.size)
+	for i := 0; i < numDirect; i++ {
+		putUint64(b[16+8*i:], ind.direct[i])
+	}
+	putUint64(b[16+8*numDirect:], ind.indirect)
+	putUint64(b[24+8*numDirect:], ind.dindirect)
+}
+
+func unmarshalInode(ind *inode, b []byte) {
+	ind.mode = uint32(getUint64(b[0:]))
+	ind.size = getUint64(b[8:])
+	for i := 0; i < numDirect; i++ {
+		ind.direct[i] = getUint64(b[16+8*i:])
+	}
+	ind.indirect = getUint64(b[16+8*numDirect:])
+	ind.dindirect = getUint64(b[24+8*numDirect:])
+}
+
+// marshalDir serializes the root directory: count, then (ino, nameLen,
+// name) entries in sorted-name order for determinism.
+func (fs *FS) marshalDir() []byte {
+	names := make([]string, 0, len(fs.dir))
+	for name := range fs.dir {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	size := 8
+	for _, name := range names {
+		size += 8 + 2 + len(name)
+	}
+	out := make([]byte, size)
+	putUint64(out, uint64(len(names)))
+	off := 8
+	for _, name := range names {
+		putUint64(out[off:], uint64(fs.dir[name]))
+		off += 8
+		out[off] = byte(len(name))
+		out[off+1] = byte(len(name) >> 8)
+		off += 2
+		copy(out[off:], name)
+		off += len(name)
+	}
+	return out
+}
+
+func (fs *FS) unmarshalDir(b []byte) error {
+	fs.dir = make(map[string]uint32)
+	if len(b) < 8 {
+		return nil // empty directory
+	}
+	count := getUint64(b)
+	off := 8
+	for i := uint64(0); i < count; i++ {
+		if off+10 > len(b) {
+			return fmt.Errorf("%w: truncated directory", ErrNotFormatted)
+		}
+		ino := uint32(getUint64(b[off:]))
+		off += 8
+		nameLen := int(b[off]) | int(b[off+1])<<8
+		off += 2
+		if off+nameLen > len(b) {
+			return fmt.Errorf("%w: truncated directory entry", ErrNotFormatted)
+		}
+		fs.dir[string(b[off:off+nameLen])] = ino
+		off += nameLen
+	}
+	return nil
+}
+
+// writeInodeData replaces ind's content with data (used for the root
+// directory). Caller holds fs.mu.
+func (fs *FS) writeInodeData(ind *inode, data []byte) error {
+	if err := fs.freeInodeBlocks(ind); err != nil {
+		return err
+	}
+	ind.direct = [numDirect]uint64{}
+	ind.indirect, ind.dindirect, ind.size = 0, 0, 0
+
+	bs := fs.sb.blockSize
+	buf := make([]byte, bs)
+	for off := 0; off < len(data); off += bs {
+		fileBlock := uint64(off / bs)
+		abs, err := fs.blockFor(ind, fileBlock, true)
+		if err != nil {
+			return err
+		}
+		n := copy(buf, data[off:])
+		for i := n; i < bs; i++ {
+			buf[i] = 0
+		}
+		if err := fs.dev.WriteBlock(abs, buf); err != nil {
+			return err
+		}
+	}
+	ind.size = uint64(len(data))
+	return nil
+}
+
+// readInodeData returns ind's full content. Caller holds fs.mu.
+func (fs *FS) readInodeData(ind *inode) ([]byte, error) {
+	out := make([]byte, ind.size)
+	bs := fs.sb.blockSize
+	buf := make([]byte, bs)
+	for off := 0; off < len(out); off += bs {
+		fileBlock := uint64(off / bs)
+		abs, err := fs.blockFor(ind, fileBlock, false)
+		if err != nil {
+			return nil, err
+		}
+		if abs == 0 {
+			continue // hole reads as zeros
+		}
+		if err := fs.dev.ReadBlock(abs, buf); err != nil {
+			return nil, err
+		}
+		copy(out[off:], buf)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultDeviceDisarmedPassesThrough(t *testing.T) {
+	d := NewFaultDevice(NewMemDevice(testBlockSize, 8))
+	buf := make([]byte, testBlockSize)
+	for i := 0; i < 20; i++ {
+		if err := d.WriteBlock(0, buf); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := d.ReadBlock(0, buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if r, w := d.InjectedFailures(); r != 0 || w != 0 {
+		t.Fatalf("failures = %d/%d", r, w)
+	}
+}
+
+func TestFaultDeviceFailsAfterBudget(t *testing.T) {
+	d := NewFaultDevice(NewMemDevice(testBlockSize, 8))
+	d.FailWritesAfter(3)
+	buf := make([]byte, testBlockSize)
+	for i := 0; i < 3; i++ {
+		if err := d.WriteBlock(0, buf); err != nil {
+			t.Fatalf("write %d within budget: %v", i, err)
+		}
+	}
+	if err := d.WriteBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past budget err = %v", err)
+	}
+	if err := d.WriteBlock(1, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("subsequent write err = %v", err)
+	}
+	// Reads unaffected.
+	if err := d.ReadBlock(0, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, w := d.InjectedFailures(); w != 2 {
+		t.Fatalf("failed writes = %d", w)
+	}
+}
+
+func TestFaultDeviceReadFaultsAndDisarm(t *testing.T) {
+	d := NewFaultDevice(NewMemDevice(testBlockSize, 8))
+	d.FailReadsAfter(0)
+	buf := make([]byte, testBlockSize)
+	if err := d.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v", err)
+	}
+	d.Disarm()
+	if err := d.ReadBlock(0, buf); err != nil {
+		t.Fatalf("read after disarm: %v", err)
+	}
+}
+
+func TestFaultDeviceDoesNotWriteOnFault(t *testing.T) {
+	mem := NewMemDevice(testBlockSize, 8)
+	d := NewFaultDevice(mem)
+	good := make([]byte, testBlockSize)
+	fillPattern(good, 7)
+	if err := d.WriteBlock(2, good); err != nil {
+		t.Fatal(err)
+	}
+	d.FailWritesAfter(0)
+	bad := make([]byte, testBlockSize)
+	fillPattern(bad, 9)
+	if err := d.WriteBlock(2, bad); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	got := make([]byte, testBlockSize)
+	if err := mem.ReadBlock(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != good[0] {
+		t.Fatal("failed write modified the device")
+	}
+}

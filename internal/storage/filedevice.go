@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDevice is a block device backed by a regular file, used by the CLI
+// tools so disk images survive process restarts and can be handed to the
+// adversary CLI the way a seized phone image would be.
+type FileDevice struct {
+	mu        sync.Mutex
+	f         *os.File
+	blockSize int
+	numBlocks uint64
+	closed    bool
+}
+
+var _ Device = (*FileDevice)(nil)
+
+// CreateFileDevice creates (or truncates) path as a device image of
+// numBlocks blocks of blockSize bytes.
+func CreateFileDevice(path string, blockSize int, numBlocks uint64) (*FileDevice, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("storage: non-positive block size %d", blockSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating image %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(blockSize) * int64(numBlocks)); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("storage: sizing image %s: %w", path, err)
+	}
+	return &FileDevice{f: f, blockSize: blockSize, numBlocks: numBlocks}, nil
+}
+
+// OpenFileDevice opens an existing device image with the given block size,
+// deriving the block count from the file size.
+func OpenFileDevice(path string, blockSize int) (*FileDevice, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("storage: non-positive block size %d", blockSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening image %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("storage: stat image %s: %w", path, err)
+	}
+	if info.Size()%int64(blockSize) != 0 {
+		_ = f.Close()
+		return nil, fmt.Errorf("storage: image %s size %d not a multiple of block size %d",
+			path, info.Size(), blockSize)
+	}
+	return &FileDevice{
+		f:         f,
+		blockSize: blockSize,
+		numBlocks: uint64(info.Size() / int64(blockSize)),
+	}, nil
+}
+
+// BlockSize implements Device.
+func (d *FileDevice) BlockSize() int { return d.blockSize }
+
+// NumBlocks implements Device.
+func (d *FileDevice) NumBlocks() uint64 { return d.numBlocks }
+
+// ReadBlock implements Device.
+func (d *FileDevice) ReadBlock(idx uint64, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkIO(idx, dst, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	if _, err := d.f.ReadAt(dst, int64(idx)*int64(d.blockSize)); err != nil {
+		return fmt.Errorf("storage: reading block %d: %w", idx, err)
+	}
+	return nil
+}
+
+// WriteBlock implements Device.
+func (d *FileDevice) WriteBlock(idx uint64, src []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkIO(idx, src, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	if _, err := d.f.WriteAt(src, int64(idx)*int64(d.blockSize)); err != nil {
+		return fmt.Errorf("storage: writing block %d: %w", idx, err)
+	}
+	return nil
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing image: %w", err)
+	}
+	return nil
+}
+
+// Close implements Device.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.f.Close(); err != nil {
+		return fmt.Errorf("storage: closing image: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package storage
+
+import "fmt"
+
+// SliceDevice exposes a contiguous sub-range of a parent device as a device
+// of its own. MobiCeal's storage layout (Fig. 3) divides one physical
+// partition into metadata | data | crypto footer; each region is handed to a
+// different subsystem as a SliceDevice.
+type SliceDevice struct {
+	parent Device
+	start  uint64
+	length uint64
+}
+
+var _ Device = (*SliceDevice)(nil)
+
+// NewSliceDevice returns a view of parent covering blocks
+// [start, start+length). It fails if the range exceeds the parent.
+func NewSliceDevice(parent Device, start, length uint64) (*SliceDevice, error) {
+	if start+length < start || start+length > parent.NumBlocks() {
+		return nil, fmt.Errorf("%w: slice [%d, %d) of %d-block device",
+			ErrOutOfRange, start, start+length, parent.NumBlocks())
+	}
+	return &SliceDevice{parent: parent, start: start, length: length}, nil
+}
+
+// BlockSize implements Device.
+func (d *SliceDevice) BlockSize() int { return d.parent.BlockSize() }
+
+// NumBlocks implements Device.
+func (d *SliceDevice) NumBlocks() uint64 { return d.length }
+
+// ReadBlock implements Device.
+func (d *SliceDevice) ReadBlock(idx uint64, dst []byte) error {
+	if idx >= d.length {
+		return fmt.Errorf("%w: block %d, slice has %d", ErrOutOfRange, idx, d.length)
+	}
+	return d.parent.ReadBlock(d.start+idx, dst)
+}
+
+// WriteBlock implements Device.
+func (d *SliceDevice) WriteBlock(idx uint64, src []byte) error {
+	if idx >= d.length {
+		return fmt.Errorf("%w: block %d, slice has %d", ErrOutOfRange, idx, d.length)
+	}
+	return d.parent.WriteBlock(d.start+idx, src)
+}
+
+// Sync implements Device.
+func (d *SliceDevice) Sync() error { return d.parent.Sync() }
+
+// Close implements Device. Closing a slice does not close the parent: the
+// parent owns the underlying resource and several slices share it.
+func (d *SliceDevice) Close() error { return nil }
+
+// Start returns the slice's first block index on the parent device.
+func (d *SliceDevice) Start() uint64 { return d.start }

@@ -1,0 +1,81 @@
+package thinp
+
+import (
+	"sync"
+
+	"mobiceal/internal/prng"
+)
+
+// Allocator picks which free data block satisfies a provisioning request.
+// Implementations see the pool's effective bitmap (committed state plus
+// in-transaction allocations), so the paper's "transaction problem" — a
+// block allocated twice before the bitmap commit (Sec. V-A) — cannot occur:
+// every allocation is immediately visible to subsequent picks.
+type Allocator interface {
+	// PickFree returns a free block index from bm.
+	PickFree(bm *Bitmap) (uint64, error)
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// SequentialAllocator is the stock dm-thin strategy: first-fit from a
+// roving cursor, so blocks are handed out in ascending disk order. Under
+// this strategy an adversary observing the physical layout sees public
+// blocks followed by runs of non-public blocks whose length betrays large
+// hidden writes (paper Sec. IV-B), which is exactly what the layout
+// detector in the adversary package exploits.
+type SequentialAllocator struct {
+	mu     sync.Mutex
+	cursor uint64
+}
+
+var _ Allocator = (*SequentialAllocator)(nil)
+
+// NewSequentialAllocator returns the stock allocator starting at block 0.
+func NewSequentialAllocator() *SequentialAllocator { return &SequentialAllocator{} }
+
+// Name implements Allocator.
+func (a *SequentialAllocator) Name() string { return "sequential" }
+
+// PickFree implements Allocator.
+func (a *SequentialAllocator) PickFree(bm *Bitmap) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := bm.NextFree(a.cursor)
+	if err != nil {
+		return 0, err
+	}
+	a.cursor = idx + 1
+	return idx, nil
+}
+
+// RandomAllocator is MobiCeal's replacement strategy (Sec. V-A): pick i
+// uniformly over the number of free blocks and allocate the i-th free
+// block, so every write — public, hidden or dummy — lands at a uniformly
+// random free location and the physical layout carries no information about
+// which volume a block belongs to.
+type RandomAllocator struct {
+	mu  sync.Mutex
+	src *prng.Source
+}
+
+var _ Allocator = (*RandomAllocator)(nil)
+
+// NewRandomAllocator returns a random allocator drawing from src.
+func NewRandomAllocator(src *prng.Source) *RandomAllocator {
+	return &RandomAllocator{src: src}
+}
+
+// Name implements Allocator.
+func (a *RandomAllocator) Name() string { return "random" }
+
+// PickFree implements Allocator.
+func (a *RandomAllocator) PickFree(bm *Bitmap) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := bm.Free()
+	if free == 0 {
+		return 0, ErrBitmapFull
+	}
+	return bm.NthFree(a.src.Uint64n(free))
+}

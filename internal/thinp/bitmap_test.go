@@ -1,0 +1,299 @@
+package thinp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mobiceal/internal/prng"
+)
+
+func TestBitmapSetClearCounts(t *testing.T) {
+	b := NewBitmap(100)
+	if b.Free() != 100 || b.Allocated() != 0 {
+		t.Fatalf("fresh bitmap: free=%d alloc=%d", b.Free(), b.Allocated())
+	}
+	if err := b.Set(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(3); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if b.Allocated() != 1 {
+		t.Fatalf("alloc=%d after double Set", b.Allocated())
+	}
+	if !b.IsAllocated(3) || b.IsAllocated(4) {
+		t.Fatal("IsAllocated wrong")
+	}
+	if err := b.Clear(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Clear(3); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if b.Allocated() != 0 {
+		t.Fatalf("alloc=%d after double Clear", b.Allocated())
+	}
+}
+
+func TestBitmapOutOfRange(t *testing.T) {
+	b := NewBitmap(10)
+	if err := b.Set(10); err == nil {
+		t.Fatal("Set(10) on 10-bit map succeeded")
+	}
+	if err := b.Clear(10); err == nil {
+		t.Fatal("Clear(10) on 10-bit map succeeded")
+	}
+	if !b.IsAllocated(10) {
+		t.Fatal("out-of-range must report allocated")
+	}
+}
+
+func TestBitmapNthFree(t *testing.T) {
+	b := NewBitmap(10)
+	for _, i := range []uint64{0, 2, 4} {
+		if err := b.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free blocks: 1,3,5,6,7,8,9.
+	want := []uint64{1, 3, 5, 6, 7, 8, 9}
+	for n, w := range want {
+		got, err := b.NthFree(uint64(n))
+		if err != nil {
+			t.Fatalf("NthFree(%d): %v", n, err)
+		}
+		if got != w {
+			t.Fatalf("NthFree(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if _, err := b.NthFree(7); !errors.Is(err, ErrBitmapFull) {
+		t.Fatalf("NthFree(7) err = %v, want ErrBitmapFull", err)
+	}
+}
+
+func TestBitmapNthFreeAcrossWords(t *testing.T) {
+	b := NewBitmap(200)
+	// Allocate the whole first word plus some.
+	for i := uint64(0); i < 70; i++ {
+		if err := b.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.NthFree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Fatalf("NthFree(0) = %d, want 70", got)
+	}
+	got, err = b.NthFree(129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 199 {
+		t.Fatalf("NthFree(last) = %d, want 199", got)
+	}
+}
+
+func TestBitmapNextFreeWraps(t *testing.T) {
+	b := NewBitmap(8)
+	for i := uint64(4); i < 8; i++ {
+		if err := b.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.NextFree(6) // 6,7 allocated; wraps to 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("NextFree(6) = %d, want 0", got)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if err := b.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.NextFree(0); !errors.Is(err, ErrBitmapFull) {
+		t.Fatalf("full NextFree err = %v", err)
+	}
+}
+
+func TestBitmapMarshalRoundtrip(t *testing.T) {
+	b := NewBitmap(130) // straddles word boundary with a partial tail word
+	for _, i := range []uint64{0, 63, 64, 127, 128, 129} {
+		if err := b.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, b.MarshaledLen())
+	if _, err := b.MarshalTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBitmap(130, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Allocated() != b.Allocated() {
+		t.Fatalf("allocated = %d, want %d", got.Allocated(), b.Allocated())
+	}
+	for i := uint64(0); i < 130; i++ {
+		if got.IsAllocated(i) != b.IsAllocated(i) {
+			t.Fatalf("bit %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestBitmapMarshalShortBuffer(t *testing.T) {
+	b := NewBitmap(100)
+	if _, err := b.MarshalTo(make([]byte, 4)); err == nil {
+		t.Fatal("MarshalTo with short buffer succeeded")
+	}
+	if _, err := UnmarshalBitmap(100, make([]byte, 4)); err == nil {
+		t.Fatal("UnmarshalBitmap with short buffer succeeded")
+	}
+}
+
+func TestBitmapClone(t *testing.T) {
+	b := NewBitmap(64)
+	if err := b.Set(5); err != nil {
+		t.Fatal(err)
+	}
+	c := b.Clone()
+	if err := c.Set(6); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsAllocated(6) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !c.IsAllocated(5) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+// Property: NthFree(n) always returns a free block, and distinct n map to
+// distinct blocks.
+func TestBitmapPropertyNthFree(t *testing.T) {
+	f := func(seed uint64, allocRaw []uint16) bool {
+		const nbits = 256
+		b := NewBitmap(nbits)
+		for _, a := range allocRaw {
+			if err := b.Set(uint64(a) % nbits); err != nil {
+				return false
+			}
+		}
+		free := b.Free()
+		seen := map[uint64]bool{}
+		for n := uint64(0); n < free; n++ {
+			idx, err := b.NthFree(n)
+			if err != nil || b.IsAllocated(idx) || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return uint64(len(seen)) == free
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialAllocatorAscending(t *testing.T) {
+	b := NewBitmap(32)
+	a := NewSequentialAllocator()
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		idx, err := a.PickFree(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Set(idx); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && idx != prev+1 {
+			t.Fatalf("allocation %d: got %d, want %d", i, idx, prev+1)
+		}
+		prev = idx
+	}
+}
+
+func TestSequentialAllocatorSkipsAllocated(t *testing.T) {
+	b := NewBitmap(8)
+	if err := b.Set(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(1); err != nil {
+		t.Fatal(err)
+	}
+	a := NewSequentialAllocator()
+	idx, err := a.PickFree(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("PickFree = %d, want 2", idx)
+	}
+}
+
+func TestRandomAllocatorSpreads(t *testing.T) {
+	b := NewBitmap(4096)
+	a := NewRandomAllocator(prng.NewSource(1))
+	var picks []uint64
+	for i := 0; i < 64; i++ {
+		idx, err := a.PickFree(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Set(idx); err != nil {
+			t.Fatal(err)
+		}
+		picks = append(picks, idx)
+	}
+	ascending := 0
+	for i := 1; i < len(picks); i++ {
+		if picks[i] == picks[i-1]+1 {
+			ascending++
+		}
+	}
+	if ascending > 5 {
+		t.Fatalf("random allocator produced %d/63 consecutive picks", ascending)
+	}
+	// Spread check: picks should cover a wide range of the device.
+	var min, max uint64 = picks[0], picks[0]
+	for _, p := range picks {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max-min < 1024 {
+		t.Fatalf("random picks clustered in [%d, %d]", min, max)
+	}
+}
+
+func TestAllocatorsReportFull(t *testing.T) {
+	b := NewBitmap(4)
+	for i := uint64(0); i < 4; i++ {
+		if err := b.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewSequentialAllocator().PickFree(b); !errors.Is(err, ErrBitmapFull) {
+		t.Fatalf("sequential err = %v", err)
+	}
+	if _, err := NewRandomAllocator(prng.NewSource(1)).PickFree(b); !errors.Is(err, ErrBitmapFull) {
+		t.Fatalf("random err = %v", err)
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	if NewSequentialAllocator().Name() != "sequential" {
+		t.Fatal("sequential name")
+	}
+	if NewRandomAllocator(prng.NewSource(1)).Name() != "random" {
+		t.Fatal("random name")
+	}
+}

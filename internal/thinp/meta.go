@@ -1,0 +1,197 @@
+package thinp
+
+import (
+	"fmt"
+	"sort"
+
+	"mobiceal/internal/storage"
+)
+
+// Metadata layout on the metadata device, packed across blocks:
+//
+//	superblock: magic u64 | version u32 | blockSize u32 | dataBlocks u64 |
+//	            txID u64 | thinCount u32
+//	bitmap:     one bit per data block
+//	thins:      per thin: id u32 | virtBlocks u64 | mapCount u64 |
+//	            mapCount * (vblock u64, pblock u64), sorted by vblock
+//
+// Everything is plaintext: the paper's threat model explicitly allows the
+// adversary to read the global bitmap and the per-volume mappings (Sec.
+// IV-B "the system keeps the metadata in a known location and the adversary
+// can have access to them"). Deniability must therefore not depend on
+// metadata secrecy — hidden-volume entries are indistinguishable from
+// dummy-volume entries, which the adversary package verifies.
+
+const superLen = 8 + 4 + 4 + 8 + 8 + 4
+
+// Commit persists the pool metadata transactionally: the transaction id is
+// incremented and the full metadata image is rewritten. Blocks allocated
+// since the previous commit become durable; the in-memory transaction
+// record is cleared.
+func (p *Pool) Commit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.commitLocked()
+}
+
+func (p *Pool) commitLocked() error {
+	p.txID++
+	buf := p.marshalLocked()
+	bs := p.meta.BlockSize()
+	padded := buf
+	if rem := len(buf) % bs; rem != 0 {
+		padded = append(buf, make([]byte, bs-rem)...)
+	}
+	if uint64(len(padded)/bs) > p.meta.NumBlocks() {
+		return fmt.Errorf("%w: metadata image %d bytes", ErrMetaSpace, len(padded))
+	}
+	if err := storage.WriteFull(p.meta, 0, padded); err != nil {
+		return fmt.Errorf("thinp: writing metadata: %w", err)
+	}
+	if err := p.meta.Sync(); err != nil {
+		return fmt.Errorf("thinp: syncing metadata: %w", err)
+	}
+	p.txAlloc = make(map[uint64]struct{})
+	return nil
+}
+
+func (p *Pool) marshalLocked() []byte {
+	size := superLen + p.bmLen()
+	ids := make([]int, 0, len(p.thins))
+	for id := range p.thins {
+		ids = append(ids, id)
+		size += 4 + 8 + 8 + 16*len(p.thins[id].mapping)
+	}
+	sort.Ints(ids)
+
+	buf := make([]byte, size)
+	off := 0
+	putUint64(buf[off:], superMagic)
+	off += 8
+	putUint32(buf[off:], superVersion)
+	off += 4
+	putUint32(buf[off:], uint32(p.data.BlockSize()))
+	off += 4
+	putUint64(buf[off:], p.data.NumBlocks())
+	off += 8
+	putUint64(buf[off:], p.txID)
+	off += 8
+	putUint32(buf[off:], uint32(len(p.thins)))
+	off += 4
+
+	n, err := p.bm.MarshalTo(buf[off:])
+	if err != nil {
+		// The buffer is sized from bmLen above; failure is impossible.
+		panic("thinp: bitmap marshal sizing: " + err.Error())
+	}
+	off += n
+
+	for _, id := range ids {
+		tm := p.thins[id]
+		putUint32(buf[off:], uint32(id))
+		off += 4
+		putUint64(buf[off:], tm.virtBlocks)
+		off += 8
+		putUint64(buf[off:], uint64(len(tm.mapping)))
+		off += 8
+		vbs := make([]uint64, 0, len(tm.mapping))
+		for vb := range tm.mapping {
+			vbs = append(vbs, vb)
+		}
+		sort.Slice(vbs, func(i, j int) bool { return vbs[i] < vbs[j] })
+		for _, vb := range vbs {
+			putUint64(buf[off:], vb)
+			off += 8
+			putUint64(buf[off:], tm.mapping[vb])
+			off += 8
+		}
+	}
+	return buf
+}
+
+// load reads pool metadata from the metadata device.
+func (p *Pool) load() error {
+	raw, err := storage.ReadFull(p.meta, 0, p.meta.NumBlocks())
+	if err != nil {
+		return fmt.Errorf("thinp: reading metadata: %w", err)
+	}
+	if len(raw) < superLen {
+		return fmt.Errorf("%w: device smaller than superblock", ErrCorruptMeta)
+	}
+	off := 0
+	if getUint64(raw[off:]) != superMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorruptMeta)
+	}
+	off += 8
+	if v := getUint32(raw[off:]); v != superVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrCorruptMeta, v)
+	}
+	off += 4
+	if bs := getUint32(raw[off:]); int(bs) != p.data.BlockSize() {
+		return fmt.Errorf("%w: block size %d != data device %d",
+			ErrCorruptMeta, bs, p.data.BlockSize())
+	}
+	off += 4
+	dataBlocks := getUint64(raw[off:])
+	off += 8
+	if dataBlocks != p.data.NumBlocks() {
+		return fmt.Errorf("%w: data blocks %d != device %d",
+			ErrCorruptMeta, dataBlocks, p.data.NumBlocks())
+	}
+	p.txID = getUint64(raw[off:])
+	off += 8
+	thinCount := int(getUint32(raw[off:]))
+	off += 4
+
+	bm, err := UnmarshalBitmap(dataBlocks, raw[off:])
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptMeta, err)
+	}
+	p.bm = bm
+	off += bm.MarshaledLen()
+
+	p.thins = make(map[int]*thinMeta, thinCount)
+	for i := 0; i < thinCount; i++ {
+		if off+20 > len(raw) {
+			return fmt.Errorf("%w: truncated thin header", ErrCorruptMeta)
+		}
+		id := int(getUint32(raw[off:]))
+		off += 4
+		virt := getUint64(raw[off:])
+		off += 8
+		count := getUint64(raw[off:])
+		off += 8
+		if off+int(count)*16 > len(raw) {
+			return fmt.Errorf("%w: truncated mapping table for thin %d", ErrCorruptMeta, id)
+		}
+		tm := &thinMeta{id: id, virtBlocks: virt, mapping: make(map[uint64]uint64, count)}
+		for j := uint64(0); j < count; j++ {
+			vb := getUint64(raw[off:])
+			off += 8
+			pb := getUint64(raw[off:])
+			off += 8
+			tm.mapping[vb] = pb
+		}
+		p.thins[id] = tm
+	}
+	return nil
+}
+
+func putUint32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// MetaBlocksNeeded returns a metadata-device size (in blocks of blockSize)
+// sufficient for a pool over dataBlocks data blocks, for use when carving a
+// partition into metadata and data regions (Fig. 3 layout).
+func MetaBlocksNeeded(dataBlocks uint64, blockSize int) uint64 {
+	need := 64 + int((dataBlocks+63)/64)*8 + 16*int(dataBlocks) + 64*64
+	return uint64((need + blockSize - 1) / blockSize)
+}

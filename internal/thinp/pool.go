@@ -1,0 +1,460 @@
+package thinp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mobiceal/internal/prng"
+	"mobiceal/internal/storage"
+	"mobiceal/internal/vclock"
+	"mobiceal/internal/xcrypto"
+)
+
+// Pool errors.
+var (
+	// ErrNoSpace reports an exhausted data device.
+	ErrNoSpace = errors.New("thinp: pool out of data space")
+	// ErrMetaSpace reports a metadata device too small for the pool.
+	ErrMetaSpace = errors.New("thinp: metadata device too small")
+	// ErrNoSuchThin reports an unknown thin device id.
+	ErrNoSuchThin = errors.New("thinp: no such thin device")
+	// ErrThinExists reports creation of a duplicate thin device id.
+	ErrThinExists = errors.New("thinp: thin device already exists")
+	// ErrCorruptMeta reports unreadable pool metadata.
+	ErrCorruptMeta = errors.New("thinp: corrupt pool metadata")
+)
+
+const (
+	superMagic   = 0x7468696e_706f6f6c // "thinpool"
+	superVersion = 1
+)
+
+// DummyPolicy is MobiCeal's hook into the provisioning path. After the pool
+// provisions a new physical block for a thin device, it consults the policy;
+// if the policy fires, the pool immediately performs a dummy write — it
+// allocates count blocks via the pool allocator, maps them into the target
+// thin device at random virtual offsets, and fills them with discarded-key
+// noise (paper Sec. IV-B "Dummy Write").
+//
+// A nil policy reproduces stock dm-thin.
+type DummyPolicy interface {
+	// OnProvision is called with the id of the thin device that just
+	// provisioned a block. It returns whether a dummy write fires, the
+	// target thin id, and the number of noise blocks.
+	OnProvision(thinID int) (target int, count int, fire bool)
+}
+
+// Options configures a pool.
+type Options struct {
+	// Allocator picks free blocks; nil selects the stock sequential
+	// allocator.
+	Allocator Allocator
+	// Policy is the dummy-write policy; nil disables dummy writes.
+	Policy DummyPolicy
+	// Entropy supplies noise for dummy blocks; nil selects the system
+	// CSPRNG.
+	Entropy prng.Entropy
+	// DummySrc drives random virtual-offset choice for dummy mappings;
+	// nil seeds from Entropy.
+	DummySrc *prng.Source
+	// Meter, when set, charges device-mapper target traversal per thin
+	// I/O request.
+	Meter *vclock.Meter
+}
+
+func (o *Options) fill() {
+	if o.Allocator == nil {
+		o.Allocator = NewSequentialAllocator()
+	}
+	if o.Entropy == nil {
+		o.Entropy = prng.SystemEntropy()
+	}
+	if o.DummySrc == nil {
+		seed, err := prng.Bytes(o.Entropy, 8)
+		if err != nil {
+			// Entropy implementations in this repository cannot fail;
+			// fall back to a fixed seed rather than crash the pool.
+			o.DummySrc = prng.NewSource(0x6d6f6269)
+			return
+		}
+		o.DummySrc = prng.NewSource(getUint64(seed))
+	}
+}
+
+// thinMeta is the pool-side record of one thin device.
+type thinMeta struct {
+	id         int
+	virtBlocks uint64
+	mapping    map[uint64]uint64 // virtual block -> physical block
+}
+
+// Pool is the thin-pool target: data device + metadata device + global
+// bitmap + per-thin mappings. Pool is safe for concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	data  storage.Device
+	meta  storage.Device
+	bm    *Bitmap
+	thins map[int]*thinMeta
+	opts  Options
+	txID  uint64
+	// txAlloc records blocks allocated since the last commit — the paper's
+	// fix for the transaction problem (Sec. V-A). The effective bitmap
+	// already contains them; the record exists so an aborted transaction
+	// can roll back and tests can verify the invariant.
+	txAlloc map[uint64]struct{}
+
+	// DummyBlocksWritten counts noise blocks produced by the dummy-write
+	// mechanism; experiments read it for write-amplification accounting.
+	dummyBlocksWritten uint64
+}
+
+// CreatePool formats meta and returns a fresh pool over data. Any previous
+// metadata on the device is destroyed.
+func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
+	opts.fill()
+	p := &Pool{
+		data:    data,
+		meta:    meta,
+		bm:      NewBitmap(data.NumBlocks()),
+		thins:   make(map[int]*thinMeta),
+		opts:    opts,
+		txAlloc: make(map[uint64]struct{}),
+	}
+	if err := p.checkMetaCapacity(); err != nil {
+		return nil, err
+	}
+	if err := p.commitLocked(); err != nil {
+		return nil, fmt.Errorf("thinp: formatting metadata: %w", err)
+	}
+	return p, nil
+}
+
+// OpenPool loads an existing pool from its devices.
+func OpenPool(data, meta storage.Device, opts Options) (*Pool, error) {
+	opts.fill()
+	p := &Pool{
+		data:    data,
+		meta:    meta,
+		opts:    opts,
+		txAlloc: make(map[uint64]struct{}),
+	}
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// checkMetaCapacity verifies the metadata device can hold the superblock,
+// the bitmap and a worst-case fully-mapped mapping table.
+func (p *Pool) checkMetaCapacity() error {
+	bs := p.meta.BlockSize()
+	need := p.metaBytesWorstCase()
+	have := int(p.meta.NumBlocks()) * bs
+	if need > have {
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrMetaSpace, need, have)
+	}
+	return nil
+}
+
+func (p *Pool) metaBytesWorstCase() int {
+	// superblock + bitmap + every data block mapped somewhere (16 bytes per
+	// entry) + generous per-thin headers.
+	return 64 + p.bmLen() + 16*int(p.data.NumBlocks()) + 64*64
+}
+
+func (p *Pool) bmLen() int { return int((p.data.NumBlocks()+63)/64) * 8 }
+
+// DataDevice returns the pool's data device.
+func (p *Pool) DataDevice() storage.Device { return p.data }
+
+// MetaDevice returns the pool's metadata device.
+func (p *Pool) MetaDevice() storage.Device { return p.meta }
+
+// AllocatorName reports the active allocation strategy.
+func (p *Pool) AllocatorName() string { return p.opts.Allocator.Name() }
+
+// FreeBlocks returns the number of unallocated data blocks.
+func (p *Pool) FreeBlocks() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bm.Free()
+}
+
+// AllocatedBlocks returns the number of allocated data blocks.
+func (p *Pool) AllocatedBlocks() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bm.Allocated()
+}
+
+// DummyBlocksWritten returns the cumulative count of dummy-write noise
+// blocks.
+func (p *Pool) DummyBlocksWritten() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dummyBlocksWritten
+}
+
+// TransactionID returns the committed metadata transaction id.
+func (p *Pool) TransactionID() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txID
+}
+
+// PendingAllocations returns the number of blocks allocated since the last
+// commit (the transaction record of Sec. V-A).
+func (p *Pool) PendingAllocations() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.txAlloc)
+}
+
+// CreateThin registers a thin device with the given id and virtual size.
+// Thin provisioning allocates no physical space at creation time — the
+// property MobiCeal exploits to make hidden volumes free to create
+// (Sec. V-A reason 1).
+func (p *Pool) CreateThin(id int, virtBlocks uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.thins[id]; ok {
+		return fmt.Errorf("%w: id %d", ErrThinExists, id)
+	}
+	p.thins[id] = &thinMeta{
+		id:         id,
+		virtBlocks: virtBlocks,
+		mapping:    make(map[uint64]uint64),
+	}
+	return nil
+}
+
+// DeleteThin removes a thin device, freeing all its blocks.
+func (p *Pool) DeleteThin(id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tm, ok := p.thins[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
+	}
+	for _, pb := range tm.mapping {
+		if err := p.bm.Clear(pb); err != nil {
+			return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
+		}
+	}
+	delete(p.thins, id)
+	return nil
+}
+
+// Thin returns the block-device view of thin device id.
+func (p *Pool) Thin(id int) (*Thin, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.thins[id]; !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
+	}
+	return &Thin{pool: p, id: id}, nil
+}
+
+// ThinIDs returns the sorted ids of all thin devices.
+func (p *Pool) ThinIDs() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]int, 0, len(p.thins))
+	for id := range p.thins {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// MappedBlocks returns how many virtual blocks of thin id are provisioned.
+func (p *Pool) MappedBlocks(id int) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tm, ok := p.thins[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
+	}
+	return uint64(len(tm.mapping)), nil
+}
+
+// MappedVBlocks returns the sorted virtual block numbers provisioned for
+// thin id. The garbage collector uses it to choose dummy blocks to reclaim.
+func (p *Pool) MappedVBlocks(id int) ([]uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tm, ok := p.thins[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
+	}
+	out := make([]uint64, 0, len(tm.mapping))
+	for vb := range tm.mapping {
+		out = append(out, vb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// CheckIntegrity verifies the pool's core invariants and returns an error
+// describing the first violation found:
+//
+//  1. every mapped physical block is marked allocated in the bitmap,
+//  2. no physical block is owned by two mappings,
+//  3. the bitmap's allocation count equals the number of owned blocks
+//     (no leaked allocations outside any mapping).
+//
+// Tests and the soak suite run this after every interesting transition; a
+// real deployment would expose it as a thin_check-style tool.
+func (p *Pool) CheckIntegrity() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	owner := make(map[uint64]int, p.bm.Allocated())
+	for id, tm := range p.thins {
+		for vb, pb := range tm.mapping {
+			if prev, dup := owner[pb]; dup {
+				return fmt.Errorf("thinp: block %d owned by thin %d and %d", pb, prev, id)
+			}
+			owner[pb] = id
+			if !p.bm.IsAllocated(pb) {
+				return fmt.Errorf("thinp: thin %d maps vblock %d to free block %d", id, vb, pb)
+			}
+			if vb >= tm.virtBlocks {
+				return fmt.Errorf("thinp: thin %d maps out-of-range vblock %d", id, vb)
+			}
+		}
+	}
+	if uint64(len(owner)) != p.bm.Allocated() {
+		return fmt.Errorf("thinp: %d blocks allocated but %d owned (leak)",
+			p.bm.Allocated(), len(owner))
+	}
+	return nil
+}
+
+// PhysicalBlocks returns the sorted physical block numbers owned by thin
+// id. The multi-snapshot adversary reconstructs exactly this view from the
+// plaintext metadata (Sec. IV-B allows it; the ownership is deniable).
+func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tm, ok := p.thins[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
+	}
+	out := make([]uint64, 0, len(tm.mapping))
+	for _, pb := range tm.mapping {
+		out = append(out, pb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// allocateLocked picks and marks one free block. Caller holds p.mu.
+func (p *Pool) allocateLocked() (uint64, error) {
+	pb, err := p.opts.Allocator.PickFree(p.bm)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoSpace, err)
+	}
+	if err := p.bm.Set(pb); err != nil {
+		return 0, fmt.Errorf("thinp: marking block %d: %w", pb, err)
+	}
+	p.txAlloc[pb] = struct{}{}
+	return pb, nil
+}
+
+// provisionLocked maps a new physical block for (thin, vblock) and runs the
+// dummy-write policy. Caller holds p.mu.
+func (p *Pool) provisionLocked(tm *thinMeta, vblock uint64) (uint64, error) {
+	pb, err := p.allocateLocked()
+	if err != nil {
+		return 0, err
+	}
+	tm.mapping[vblock] = pb
+	if p.opts.Policy != nil {
+		if target, count, fire := p.opts.Policy.OnProvision(tm.id); fire {
+			if err := p.dummyWriteLocked(target, count); err != nil {
+				return 0, fmt.Errorf("thinp: dummy write: %w", err)
+			}
+		}
+	}
+	return pb, nil
+}
+
+// dummyWriteLocked performs one dummy write: count noise blocks into the
+// target thin device at random unmapped virtual offsets. Caller holds p.mu.
+func (p *Pool) dummyWriteLocked(target, count int) error {
+	tm, ok := p.thins[target]
+	if !ok {
+		return fmt.Errorf("%w: dummy target %d", ErrNoSuchThin, target)
+	}
+	noise := make([]byte, p.data.BlockSize())
+	for i := 0; i < count; i++ {
+		if uint64(len(tm.mapping)) >= tm.virtBlocks || p.bm.Free() == 0 {
+			// Target volume or pool is full; a real deployment relies on
+			// garbage collection to make room (Sec. IV-D). Stop quietly —
+			// dummy writes are best-effort obfuscation.
+			return nil
+		}
+		vb, ok := p.randomUnmappedVBlock(tm)
+		if !ok {
+			return nil
+		}
+		pb, err := p.allocateLocked()
+		if err != nil {
+			return nil // pool filled up mid-write; same best-effort rule
+		}
+		tm.mapping[vb] = pb
+		if err := xcrypto.FillNoise(p.opts.Entropy, noise); err != nil {
+			return fmt.Errorf("thinp: generating noise: %w", err)
+		}
+		if p.opts.Meter != nil {
+			// Noise generation is an encryption pass (same algorithm,
+			// discarded key) and costs the same CPU time.
+			p.opts.Meter.ChargeCrypto(len(noise))
+		}
+		if err := p.data.WriteBlock(pb, noise); err != nil {
+			return fmt.Errorf("thinp: writing noise block %d: %w", pb, err)
+		}
+		p.dummyBlocksWritten++
+	}
+	return nil
+}
+
+// randomUnmappedVBlock picks a uniformly random unmapped virtual block of
+// tm. It samples up to 64 times, then falls back to a linear scan from a
+// random start so it terminates on dense volumes.
+func (p *Pool) randomUnmappedVBlock(tm *thinMeta) (uint64, bool) {
+	if uint64(len(tm.mapping)) >= tm.virtBlocks {
+		return 0, false
+	}
+	for i := 0; i < 64; i++ {
+		vb := p.opts.DummySrc.Uint64n(tm.virtBlocks)
+		if _, mapped := tm.mapping[vb]; !mapped {
+			return vb, true
+		}
+	}
+	start := p.opts.DummySrc.Uint64n(tm.virtBlocks)
+	for off := uint64(0); off < tm.virtBlocks; off++ {
+		vb := (start + off) % tm.virtBlocks
+		if _, mapped := tm.mapping[vb]; !mapped {
+			return vb, true
+		}
+	}
+	return 0, false
+}
+
+// discardLocked unmaps (thin, vblock) and frees its physical block.
+func (p *Pool) discardLocked(tm *thinMeta, vblock uint64) error {
+	pb, ok := tm.mapping[vblock]
+	if !ok {
+		return nil // discard of an unprovisioned block is a no-op
+	}
+	delete(tm.mapping, vblock)
+	if err := p.bm.Clear(pb); err != nil {
+		return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
+	}
+	delete(p.txAlloc, pb)
+	return nil
+}

@@ -1,0 +1,129 @@
+package thinp
+
+import (
+	"fmt"
+
+	"mobiceal/internal/storage"
+)
+
+// Thin is the block-device view of one thin volume. Reads of unprovisioned
+// blocks return zeros; the first write to a block provisions physical space
+// through the pool allocator (and, under MobiCeal's policy, may trigger a
+// dummy write). Thin is safe for concurrent use; it shares the pool's lock.
+type Thin struct {
+	pool *Pool
+	id   int
+}
+
+var _ storage.Device = (*Thin)(nil)
+
+// ID returns the thin device id.
+func (t *Thin) ID() int { return t.id }
+
+// BlockSize implements storage.Device.
+func (t *Thin) BlockSize() int { return t.pool.data.BlockSize() }
+
+// NumBlocks implements storage.Device.
+func (t *Thin) NumBlocks() uint64 {
+	t.pool.mu.Lock()
+	defer t.pool.mu.Unlock()
+	tm, ok := t.pool.thins[t.id]
+	if !ok {
+		return 0
+	}
+	return tm.virtBlocks
+}
+
+// ReadBlock implements storage.Device.
+func (t *Thin) ReadBlock(idx uint64, dst []byte) error {
+	t.pool.mu.Lock()
+	tm, ok := t.pool.thins[t.id]
+	if !ok {
+		t.pool.mu.Unlock()
+		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
+	}
+	if idx >= tm.virtBlocks {
+		t.pool.mu.Unlock()
+		return fmt.Errorf("%w: vblock %d of %d", storage.ErrOutOfRange, idx, tm.virtBlocks)
+	}
+	if len(dst) != t.pool.data.BlockSize() {
+		t.pool.mu.Unlock()
+		return storage.ErrBadBuffer
+	}
+	pb, mapped := tm.mapping[idx]
+	meter := t.pool.opts.Meter
+	t.pool.mu.Unlock()
+
+	if meter != nil {
+		meter.ChargeTraversalRead()
+	}
+	if !mapped {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	return t.pool.data.ReadBlock(pb, dst)
+}
+
+// WriteBlock implements storage.Device.
+func (t *Thin) WriteBlock(idx uint64, src []byte) error {
+	t.pool.mu.Lock()
+	tm, ok := t.pool.thins[t.id]
+	if !ok {
+		t.pool.mu.Unlock()
+		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
+	}
+	if idx >= tm.virtBlocks {
+		t.pool.mu.Unlock()
+		return fmt.Errorf("%w: vblock %d of %d", storage.ErrOutOfRange, idx, tm.virtBlocks)
+	}
+	if len(src) != t.pool.data.BlockSize() {
+		t.pool.mu.Unlock()
+		return storage.ErrBadBuffer
+	}
+	pb, mapped := tm.mapping[idx]
+	if !mapped {
+		var err error
+		pb, err = t.pool.provisionLocked(tm, idx)
+		if err != nil {
+			t.pool.mu.Unlock()
+			return err
+		}
+	}
+	meter := t.pool.opts.Meter
+	t.pool.mu.Unlock()
+
+	if meter != nil {
+		meter.ChargeTraversalWrite()
+	}
+	return t.pool.data.WriteBlock(pb, src)
+}
+
+// Discard unmaps virtual block idx, freeing its physical block (the TRIM
+// analogue the garbage collector uses to reclaim dummy space).
+func (t *Thin) Discard(idx uint64) error {
+	t.pool.mu.Lock()
+	defer t.pool.mu.Unlock()
+	tm, ok := t.pool.thins[t.id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
+	}
+	if idx >= tm.virtBlocks {
+		return fmt.Errorf("%w: vblock %d of %d", storage.ErrOutOfRange, idx, tm.virtBlocks)
+	}
+	return t.pool.discardLocked(tm, idx)
+}
+
+// Sync implements storage.Device: flushes the data device and commits pool
+// metadata, matching dm-thin's REQ_FLUSH handling.
+func (t *Thin) Sync() error {
+	if err := t.pool.data.Sync(); err != nil {
+		return err
+	}
+	return t.pool.Commit()
+}
+
+// Close implements storage.Device. Thin views are cheap handles; closing
+// one does not affect the pool.
+func (t *Thin) Close() error { return nil }

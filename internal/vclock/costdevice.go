@@ -1,0 +1,51 @@
+package vclock
+
+import "mobiceal/internal/storage"
+
+// CostDevice wraps a storage.Device and charges every block read/write to a
+// Meter, turning the real I/O performed by the Go implementations into
+// virtual time on the experiment clock.
+type CostDevice struct {
+	inner storage.Device
+	meter *Meter
+}
+
+var _ storage.Device = (*CostDevice)(nil)
+
+// NewCostDevice wraps inner so that all traffic is charged to meter.
+func NewCostDevice(inner storage.Device, meter *Meter) *CostDevice {
+	return &CostDevice{inner: inner, meter: meter}
+}
+
+// Meter returns the meter traffic is charged to.
+func (d *CostDevice) Meter() *Meter { return d.meter }
+
+// BlockSize implements storage.Device.
+func (d *CostDevice) BlockSize() int { return d.inner.BlockSize() }
+
+// NumBlocks implements storage.Device.
+func (d *CostDevice) NumBlocks() uint64 { return d.inner.NumBlocks() }
+
+// ReadBlock implements storage.Device.
+func (d *CostDevice) ReadBlock(idx uint64, dst []byte) error {
+	if err := d.inner.ReadBlock(idx, dst); err != nil {
+		return err
+	}
+	d.meter.ChargeRead(idx, len(dst))
+	return nil
+}
+
+// WriteBlock implements storage.Device.
+func (d *CostDevice) WriteBlock(idx uint64, src []byte) error {
+	if err := d.inner.WriteBlock(idx, src); err != nil {
+		return err
+	}
+	d.meter.ChargeWrite(idx, len(src))
+	return nil
+}
+
+// Sync implements storage.Device.
+func (d *CostDevice) Sync() error { return d.inner.Sync() }
+
+// Close implements storage.Device.
+func (d *CostDevice) Close() error { return d.inner.Close() }

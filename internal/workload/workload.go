@@ -1,0 +1,141 @@
+// Package workload generates the paper's evaluation workloads: the dd
+// sequential write/read test ("time dd if=/dev/zero of=test.dbf bs=400M
+// count=1 conv=fdatasync", then a cold-cache read) and a Bonnie++-style
+// block-I/O benchmark (sequential block write, rewrite, block read on a
+// file sized beyond RAM). Both run against a minifs file system so their
+// block traffic has realistic spatial locality, and both report the byte
+// counts for the caller to divide by elapsed virtual time.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mobiceal/internal/minifs"
+	"mobiceal/internal/prng"
+)
+
+// DefaultChunk is the I/O unit used by the generators (dd's internal
+// buffering at this scale; Bonnie uses block-sized chunks).
+const DefaultChunk = 64 * 1024
+
+// SeqWrite creates name on fs and writes size bytes of incompressible data
+// sequentially in chunk-sized units, then syncs (conv=fdatasync).
+// It returns the bytes written.
+func SeqWrite(fs *minifs.FS, name string, size int64, chunk int, seed uint64) (int64, error) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return 0, fmt.Errorf("workload: creating %s: %w", name, err)
+	}
+	src := prng.NewSource(seed)
+	buf := make([]byte, chunk)
+	var written int64
+	for written < size {
+		n := int64(chunk)
+		if size-written < n {
+			n = size - written
+		}
+		if _, err := src.Read(buf[:n]); err != nil {
+			return written, err
+		}
+		if _, err := f.WriteAt(buf[:n], written); err != nil {
+			return written, fmt.Errorf("workload: writing %s at %d: %w", name, written, err)
+		}
+		written += n
+	}
+	if err := fs.Sync(); err != nil {
+		return written, fmt.Errorf("workload: syncing %s: %w", name, err)
+	}
+	return written, nil
+}
+
+// SeqRead reads name sequentially in chunk-sized units (cold cache: this
+// stack has no page cache, so every read hits the device, matching the
+// paper's drop_caches discipline). It returns the bytes read.
+func SeqRead(fs *minifs.FS, name string, chunk int) (int64, error) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, fmt.Errorf("workload: opening %s: %w", name, err)
+	}
+	size := f.Size()
+	buf := make([]byte, chunk)
+	var read int64
+	for read < size {
+		n, err := f.ReadAt(buf, read)
+		read += int64(n)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return read, fmt.Errorf("workload: reading %s at %d: %w", name, read, err)
+		}
+	}
+	return read, nil
+}
+
+// Rewrite reads each chunk of name and writes it back (Bonnie++'s rewrite
+// phase). It returns the bytes rewritten.
+func Rewrite(fs *minifs.FS, name string, chunk int) (int64, error) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, fmt.Errorf("workload: opening %s: %w", name, err)
+	}
+	size := f.Size()
+	buf := make([]byte, chunk)
+	var done int64
+	for done < size {
+		n, err := f.ReadAt(buf, done)
+		if n == 0 {
+			break
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			return done, fmt.Errorf("workload: rewrite read at %d: %w", done, err)
+		}
+		// Flip a byte so the write is not a no-op for snapshot diffs.
+		buf[0] ^= 0xFF
+		if _, err := f.WriteAt(buf[:n], done); err != nil {
+			return done, fmt.Errorf("workload: rewrite write at %d: %w", done, err)
+		}
+		done += int64(n)
+	}
+	if err := fs.Sync(); err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+// SmallFiles creates count files of size bytes each (Bonnie++'s file
+// creation phase), returning total bytes written.
+func SmallFiles(fs *minifs.FS, prefix string, count, size int, seed uint64) (int64, error) {
+	src := prng.NewSource(seed)
+	buf := make([]byte, size)
+	var total int64
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s%04d", prefix, i)
+		f, err := fs.Create(name)
+		if err != nil {
+			return total, fmt.Errorf("workload: creating %s: %w", name, err)
+		}
+		if _, err := src.Read(buf); err != nil {
+			return total, err
+		}
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			return total, fmt.Errorf("workload: writing %s: %w", name, err)
+		}
+		total += int64(size)
+	}
+	if err := fs.Sync(); err != nil {
+		return total, err
+	}
+	return total, nil
+}

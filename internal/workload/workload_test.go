@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"mobiceal/internal/minifs"
+	"mobiceal/internal/storage"
+)
+
+const blockSize = 4096
+
+func newFS(t testing.TB) *minifs.FS {
+	t.Helper()
+	fs, err := minifs.Format(storage.NewMemDevice(blockSize, 8192), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestSeqWriteThenRead(t *testing.T) {
+	fs := newFS(t)
+	const size = 3*1024*1024 + 777 // intentionally unaligned
+	written, err := SeqWrite(fs, "dd.bin", size, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != size {
+		t.Fatalf("written = %d, want %d", written, size)
+	}
+	read, err := SeqRead(fs, "dd.bin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != size {
+		t.Fatalf("read = %d, want %d", read, size)
+	}
+}
+
+func TestSeqWriteDataIsIncompressible(t *testing.T) {
+	fs := newFS(t)
+	if _, err := SeqWrite(fs, "x", 256*1024, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	var hist [256]int
+	for _, b := range buf {
+		hist[b]++
+	}
+	max := 0
+	for _, c := range hist {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 64 { // uniform expectation 16, generous bound
+		t.Fatalf("workload data looks structured: max byte count %d", max)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	fs := newFS(t)
+	const size = 1 << 20
+	if _, err := SeqWrite(fs, "r", size, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	done, err := Rewrite(fs, "r", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != size {
+		t.Fatalf("rewrote %d, want %d", done, size)
+	}
+	f, err := fs.Open("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != size {
+		t.Fatalf("size changed to %d", f.Size())
+	}
+}
+
+func TestSmallFiles(t *testing.T) {
+	fs := newFS(t)
+	total, err := SmallFiles(fs, "f", 20, 2048, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 20*2048 {
+		t.Fatalf("total = %d", total)
+	}
+	if got := len(fs.List()); got != 20 {
+		t.Fatalf("file count = %d", got)
+	}
+}
+
+func TestSeqReadMissingFile(t *testing.T) {
+	fs := newFS(t)
+	if _, err := SeqRead(fs, "ghost", 0); err == nil {
+		t.Fatal("reading missing file succeeded")
+	}
+}

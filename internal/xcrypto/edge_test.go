@@ -1,0 +1,211 @@
+package xcrypto
+
+import (
+	"bytes"
+	"testing"
+
+	"mobiceal/internal/prng"
+)
+
+// Password edge cases: the footer must behave identically for empty,
+// unicode, very long, and binary-ish passwords — rejecting none (there is
+// no "invalid password" in PDE; every string derives a key).
+func TestFooterPasswordEdgeCases(t *testing.T) {
+	passwords := []string{
+		"",
+		" ",
+		"ünïcødé-пароль-密码",
+		string(bytes.Repeat([]byte{'x'}, 1024)),
+		"with\x00null",
+		"\n\t\r",
+	}
+	for i, pwd := range passwords {
+		ent := prng.NewSeededEntropy(uint64(100 + i))
+		f, master, err := NewFooter(ent, pwd, 4, 32)
+		if err != nil {
+			t.Fatalf("NewFooter(%q...): %v", clip(pwd), err)
+		}
+		got, err := f.DeriveKey(pwd)
+		if err != nil {
+			t.Fatalf("DeriveKey(%q...): %v", clip(pwd), err)
+		}
+		if !bytes.Equal(got, master) {
+			t.Fatalf("password %q did not recover its master key", clip(pwd))
+		}
+		// A perturbed password yields a different key.
+		other, err := f.DeriveKey(pwd + "!")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(other, master) {
+			t.Fatalf("perturbed password %q recovered the master key", clip(pwd))
+		}
+		// Hidden index stays in range for every password shape.
+		if k := f.HiddenIndex(pwd); k < 2 || k > 4 {
+			t.Fatalf("HiddenIndex(%q) = %d", clip(pwd), k)
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 16 {
+		return s[:16] + "..."
+	}
+	return s
+}
+
+func TestFooterSimilarPasswordsDiverge(t *testing.T) {
+	// Single-character differences must fully diverge the derived keys
+	// (PBKDF2 avalanche) — no partial-match oracle for the adversary.
+	ent := prng.NewSeededEntropy(200)
+	f, _, err := NewFooter(ent, "correct horse battery staple", 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := f.DeriveKey("hidden-password")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []string{
+		"hidden-passworD",
+		"hidden-password ",
+		" hidden-password",
+		"hidden_password",
+	} {
+		k, err := f.DeriveKey(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(k, base) {
+			t.Fatalf("variant %q derived the same key", variant)
+		}
+		// Keys should differ in roughly half their bits.
+		diff := 0
+		for i := range k {
+			diff += popcount8(k[i] ^ base[i])
+		}
+		total := len(k) * 8
+		if diff < total/4 || diff > 3*total/4 {
+			t.Fatalf("variant %q: %d/%d bits differ (weak divergence)", variant, diff, total)
+		}
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for b != 0 {
+		b &= b - 1
+		n++
+	}
+	return n
+}
+
+func TestXTSKeyIndependence(t *testing.T) {
+	// Two keys differing by one bit produce unrelated ciphertext.
+	keyA := make([]byte, 64)
+	keyB := make([]byte, 64)
+	keyB[0] = 1
+	a, err := NewXTS(keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewXTS(keyB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := make([]byte, 4096)
+	ctA := make([]byte, 4096)
+	ctB := make([]byte, 4096)
+	if err := a.EncryptSector(0, ctA, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EncryptSector(0, ctB, plain); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range ctA {
+		if ctA[i] == ctB[i] {
+			same++
+		}
+	}
+	// Expected ~16 matching bytes by chance in 4096.
+	if same > 64 {
+		t.Fatalf("%d/4096 ciphertext bytes match across keys", same)
+	}
+}
+
+func TestXTSBitFlipPropagation(t *testing.T) {
+	// Flipping one ciphertext bit must garble the whole containing 16-byte
+	// unit on decryption (ECB-like locality of XTS) but not the rest —
+	// documents the malleability granularity the design accepts.
+	key := make([]byte, 64)
+	key[3] = 7
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte{0x5A}, 256)
+	ct := make([]byte, 256)
+	if err := x.EncryptSector(9, ct, plain); err != nil {
+		t.Fatal(err)
+	}
+	ct[40] ^= 0x01 // inside the third 16-byte unit
+	got := make([]byte, 256)
+	if err := x.DecryptSector(9, got, ct); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got[32:48], plain[32:48]) {
+		t.Fatal("tampered unit decrypted unchanged")
+	}
+	if !bytes.Equal(got[:32], plain[:32]) || !bytes.Equal(got[48:], plain[48:]) {
+		t.Fatal("tampering propagated outside the 16-byte unit")
+	}
+}
+
+func TestNoiseIndistinguishableFromCiphertextByteStats(t *testing.T) {
+	// Dummy noise and XTS ciphertext must have statistically identical
+	// byte histograms — the adversary's Sec. IV-A Q2 check, at unit scale.
+	ent := prng.NewSeededEntropy(300)
+	key, err := prng.Bytes(ent, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 64
+	noiseHist := make([]int, 256)
+	ctHist := make([]int, 256)
+	buf := make([]byte, 4096)
+	plain := make([]byte, 4096)
+	for i := 0; i < blocks; i++ {
+		if err := FillNoise(ent, buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range buf {
+			noiseHist[b]++
+		}
+		if err := x.EncryptSector(uint64(i), buf, plain); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range buf {
+			ctHist[b]++
+		}
+	}
+	// Chi-square two-sample-ish comparison: both should be near uniform,
+	// so their per-byte counts should agree within sampling noise.
+	total := float64(blocks * 4096)
+	expected := total / 256
+	for _, hist := range [][]int{noiseHist, ctHist} {
+		var chi float64
+		for _, c := range hist {
+			d := float64(c) - expected
+			chi += d * d / expected
+		}
+		// df=255: mean 255, sigma ~22.6; allow 6 sigma.
+		if chi > 255+6*22.6 || chi < 255-6*22.6 {
+			t.Fatalf("histogram chi-square %.1f outside uniform band", chi)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package xcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"io"
+
+	"mobiceal/internal/prng"
+)
+
+// FillNoise fills dst with the output of the block encryption algorithm
+// under a freshly generated key that is discarded when the function
+// returns. This is the paper's prescription for dummy-write content (Sec.
+// IV-A Q2): "the dummy data can be created using the same encryption
+// algorithm (as the hidden data) with random input and random keys, and the
+// corresponding key should be discarded after each encryption" — which makes
+// dummy blocks computationally indistinguishable from encrypted hidden
+// blocks.
+func FillNoise(ent prng.Entropy, dst []byte) error {
+	var key [32]byte
+	if _, err := io.ReadFull(ent, key[:]); err != nil {
+		return fmt.Errorf("xcrypto: generating throwaway noise key: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	if _, err := io.ReadFull(ent, iv[:]); err != nil {
+		return fmt.Errorf("xcrypto: generating throwaway noise IV: %w", err)
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return fmt.Errorf("xcrypto: throwaway noise cipher: %w", err)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	cipher.NewCTR(block, iv[:]).XORKeyStream(dst, dst)
+	// Best-effort key hygiene: the throwaway key must not outlive the call.
+	for i := range key {
+		key[i] = 0
+	}
+	return nil
+}

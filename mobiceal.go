@@ -1,0 +1,133 @@
+// Package mobiceal is the public API of the MobiCeal reproduction — a
+// plausibly deniable encryption (PDE) system for block storage that
+// defends against multi-snapshot adversaries (Chang et al., "MobiCeal:
+// Towards Secure and Practical Plausibly Deniable Encryption on Mobile
+// Devices", DSN 2018).
+//
+// A MobiCeal device carves one block device into pool metadata, a thin-
+// provisioned data area and a 16 KB crypto footer. It exposes n virtual
+// volumes: V1 is the public volume (decoy password), a secret subset are
+// hidden volumes (one per hidden password, index derived from the
+// password), and the rest are dummy volumes that absorb the system's
+// dummy writes. Random block allocation plus dummy writes make the changes
+// caused by hidden-volume writes deniable across storage snapshots.
+//
+// Quick start:
+//
+//	dev := mobiceal.NewMemDevice(4096, 1<<20)
+//	sys, err := mobiceal.Setup(dev, mobiceal.Config{NumVolumes: 8},
+//	    "decoy-password", []string{"hidden-password"})
+//	pub, _ := sys.OpenPublic("decoy-password")
+//	fs, _ := pub.Format()                    // mount any block FS on top
+//	hid, _ := sys.OpenHidden("hidden-password")
+//
+// See the examples directory for complete scenarios, internal/experiments
+// for the paper's evaluation harness, and DESIGN.md for the architecture.
+package mobiceal
+
+import (
+	"fmt"
+
+	"mobiceal/internal/adversary"
+	"mobiceal/internal/android"
+	"mobiceal/internal/core"
+	"mobiceal/internal/minifs"
+	"mobiceal/internal/storage"
+	"mobiceal/internal/vclock"
+)
+
+// Core types re-exported from the implementation packages.
+type (
+	// Config configures Setup and Open; the zero value selects the
+	// paper's defaults (8 volumes, lambda=1, x=50, PBKDF2 2000 rounds).
+	Config = core.Config
+	// System is an initialized MobiCeal device.
+	System = core.System
+	// Volume is an opened, decrypted virtual volume.
+	Volume = core.Volume
+	// Mode distinguishes public from hidden operation.
+	Mode = core.Mode
+	// GCReport summarizes a garbage-collection pass.
+	GCReport = core.GCReport
+	// Device is the block-device abstraction everything runs on.
+	Device = storage.Device
+	// FS is the bundled minimal block file system (any block FS works;
+	// this one ships for the examples and tools).
+	FS = minifs.FS
+	// File is an open file on FS.
+	File = minifs.File
+	// Snapshot is a point-in-time full device image — what a
+	// multi-snapshot adversary captures.
+	Snapshot = storage.Snapshot
+	// DiffReport is the adversary's correlation of two snapshots.
+	DiffReport = adversary.DiffReport
+	// Phone simulates the Android integration: boot, screen-lock entrance,
+	// fast switching with side-channel isolation.
+	Phone = android.MobiCealPhone
+)
+
+// Operating modes.
+const (
+	ModePublic = core.ModePublic
+	ModeHidden = core.ModeHidden
+)
+
+// Errors callers are expected to test for.
+var (
+	// ErrBadPassword reports a password that opens no hidden volume.
+	ErrBadPassword = core.ErrBadPassword
+	// ErrTooSmall reports a device below the minimum layout size.
+	ErrTooSmall = core.ErrTooSmall
+)
+
+// Setup initializes a fresh MobiCeal device with a decoy password and zero
+// or more hidden passwords. Existing contents are destroyed.
+func Setup(dev Device, cfg Config, decoyPassword string, hiddenPasswords []string) (*System, error) {
+	return core.Setup(dev, cfg, decoyPassword, hiddenPasswords)
+}
+
+// Open loads an existing MobiCeal device.
+func Open(dev Device, cfg Config) (*System, error) {
+	return core.Open(dev, cfg)
+}
+
+// NewMemDevice returns an in-memory block device with snapshot support,
+// suitable for experiments and tests.
+func NewMemDevice(blockSize int, numBlocks uint64) *storage.MemDevice {
+	return storage.NewMemDevice(blockSize, numBlocks)
+}
+
+// CreateImage creates a file-backed block device image.
+func CreateImage(path string, blockSize int, numBlocks uint64) (*storage.FileDevice, error) {
+	return storage.CreateFileDevice(path, blockSize, numBlocks)
+}
+
+// OpenImage opens an existing file-backed device image.
+func OpenImage(path string, blockSize int) (*storage.FileDevice, error) {
+	return storage.OpenFileDevice(path, blockSize)
+}
+
+// NewPhone wraps a device as a simulated Android handset running MobiCeal
+// on the LG Nexus 4 profile. nominalBytes models the real userdata
+// partition size for control-plane timing (use NominalNexus4Userdata).
+func NewPhone(dev Device, cfg Config, nominalBytes uint64) *Phone {
+	var clock vclock.Clock
+	meter := vclock.NewMeter(&clock, vclock.Nexus4())
+	return android.NewMobiCealPhone(dev, cfg, meter, nominalBytes)
+}
+
+// NominalNexus4Userdata is the userdata partition size of the prototype
+// device, used for control-plane timing charges.
+const NominalNexus4Userdata = 13 << 30
+
+// AnalyzeSnapshots runs the multi-snapshot adversary's correlation on two
+// captures of a MobiCeal device: diff, metadata parse, accountability
+// classification and randomness tests. A deniable device yields a report
+// with no unaccountable and no non-random changes.
+func AnalyzeSnapshots(dev Device, before, after *Snapshot) (*DiffReport, error) {
+	info, err := core.Layout(dev)
+	if err != nil {
+		return nil, fmt.Errorf("mobiceal: deriving layout: %w", err)
+	}
+	return adversary.AnalyzeDiff(before, after, info.MetaBlocks, info.DataBlocks, core.PublicVolumeID)
+}
