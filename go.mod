@@ -1,0 +1,3 @@
+module mobiceal
+
+go 1.24

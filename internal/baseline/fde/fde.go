@@ -101,7 +101,7 @@ func (s *System) Unlock(password string) (storage.Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fde: deriving key: %w", err)
 	}
-	cipher, err := xcrypto.NewXTS(key)
+	cipher, err := xcrypto.NewXTSPlain64(key)
 	if err != nil {
 		return nil, fmt.Errorf("fde: building cipher: %w", err)
 	}

@@ -213,7 +213,7 @@ func (s *System) OpenPublic(password string) (storage.Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mobipluto: deriving public key: %w", err)
 	}
-	cipher, err := xcrypto.NewXTS(key)
+	cipher, err := xcrypto.NewXTSPlain64(key)
 	if err != nil {
 		return nil, fmt.Errorf("mobipluto: public cipher: %w", err)
 	}
@@ -255,7 +255,7 @@ func (s *System) OpenHidden(password string) (storage.Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mobipluto: deriving hidden key: %w", err)
 	}
-	cipher, err := xcrypto.NewXTS(key)
+	cipher, err := xcrypto.NewXTSPlain64(key)
 	if err != nil {
 		return nil, fmt.Errorf("mobipluto: hidden cipher: %w", err)
 	}

@@ -360,9 +360,10 @@ func (s *System) DataBlocks() uint64 { return s.dataBlocks }
 // Commit persists pool metadata.
 func (s *System) Commit() error { return s.pool.Commit() }
 
-// cipherFor builds the XTS sector cipher for a derived key.
+// cipherFor builds the XTS sector cipher for a derived key, using the
+// Android dm-crypt default parameters (aes-xts-plain64, 256-bit key).
 func cipherFor(key []byte) (xcrypto.SectorCipher, error) {
-	c, err := xcrypto.NewXTS(key)
+	c, err := xcrypto.NewXTSPlain64(key)
 	if err != nil {
 		return nil, fmt.Errorf("core: building volume cipher: %w", err)
 	}

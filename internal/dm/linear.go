@@ -12,7 +12,7 @@ type Linear struct {
 	slice *storage.SliceDevice
 }
 
-var _ storage.Device = (*Linear)(nil)
+var _ storage.RangeDevice = (*Linear)(nil)
 
 // NewLinear maps blocks [start, start+length) of inner.
 func NewLinear(inner storage.Device, start, length uint64) (*Linear, error) {
@@ -35,6 +35,12 @@ func (l *Linear) ReadBlock(idx uint64, dst []byte) error { return l.slice.ReadBl
 // WriteBlock implements storage.Device.
 func (l *Linear) WriteBlock(idx uint64, src []byte) error { return l.slice.WriteBlock(idx, src) }
 
+// ReadBlocks implements storage.RangeDevice.
+func (l *Linear) ReadBlocks(start uint64, dst []byte) error { return l.slice.ReadBlocks(start, dst) }
+
+// WriteBlocks implements storage.RangeDevice.
+func (l *Linear) WriteBlocks(start uint64, src []byte) error { return l.slice.WriteBlocks(start, src) }
+
 // Sync implements storage.Device.
 func (l *Linear) Sync() error { return l.slice.Sync() }
 
@@ -49,7 +55,7 @@ type Zero struct {
 	numBlocks uint64
 }
 
-var _ storage.Device = (*Zero)(nil)
+var _ storage.RangeDevice = (*Zero)(nil)
 
 // NewZero returns a dm-zero device of the given geometry.
 func NewZero(blockSize int, numBlocks uint64) *Zero {
@@ -83,6 +89,33 @@ func (z *Zero) WriteBlock(idx uint64, src []byte) error {
 	}
 	if len(src) != z.blockSize {
 		return storage.ErrBadBuffer
+	}
+	return nil
+}
+
+// ReadBlocks implements storage.RangeDevice.
+func (z *Zero) ReadBlocks(start uint64, dst []byte) error {
+	if len(dst)%z.blockSize != 0 {
+		return storage.ErrBadBuffer
+	}
+	n := uint64(len(dst) / z.blockSize)
+	if n > 0 && (start >= z.numBlocks || n > z.numBlocks-start) {
+		return fmt.Errorf("%w: blocks [%d, %d)", storage.ErrOutOfRange, start, start+n)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// WriteBlocks implements storage.RangeDevice.
+func (z *Zero) WriteBlocks(start uint64, src []byte) error {
+	if len(src)%z.blockSize != 0 {
+		return storage.ErrBadBuffer
+	}
+	n := uint64(len(src) / z.blockSize)
+	if n > 0 && (start >= z.numBlocks || n > z.numBlocks-start) {
+		return fmt.Errorf("%w: blocks [%d, %d)", storage.ErrOutOfRange, start, start+n)
 	}
 	return nil
 }

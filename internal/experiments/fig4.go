@@ -225,7 +225,7 @@ func buildThinStack(cfg Fig4Config, hidden bool) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	cipher, err := xcrypto.NewXTS(key)
+	cipher, err := xcrypto.NewXTSPlain64(key)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package minifs
 import (
 	"fmt"
 	"io"
+
+	"mobiceal/internal/storage"
 )
 
 // File is a handle to a minifs file. Handles remain valid until the file is
@@ -32,11 +34,94 @@ func (f *File) inodeLocked() (*inode, error) {
 	return ind, nil
 }
 
+// blockResolver memoizes sequential file-block → device-block resolution
+// for one ReadAt/WriteAt call, so run coalescing can look ahead without
+// re-walking the indirect chain and failed lookups are retried exactly
+// where the I/O loop stops. It remembers which blocks it freshly
+// allocated so a write that fails before reaching them can unwind the
+// mappings instead of leaving garbage-reading former holes.
+type blockResolver struct {
+	fs    *FS
+	ind   *inode
+	alloc bool
+	first uint64
+	abs   []uint64
+	fresh []bool
+}
+
+// resolve returns the device block for file block fb, resolving (and, when
+// alloc is set, allocating) every block from the last resolved one up to fb.
+func (r *blockResolver) resolve(fb uint64) (uint64, error) {
+	for uint64(len(r.abs)) <= fb-r.first {
+		a, fresh, err := r.fs.blockFor(r.ind, r.first+uint64(len(r.abs)), r.alloc)
+		if err != nil {
+			return 0, fmt.Errorf("minifs: mapping block %d: %w", r.first+uint64(len(r.abs)), err)
+		}
+		r.abs = append(r.abs, a)
+		r.fresh = append(r.fresh, fresh)
+	}
+	return r.abs[fb-r.first], nil
+}
+
+// isFresh reports whether file block fb was freshly allocated by this
+// resolver (so its device content is stale garbage, not file data).
+func (r *blockResolver) isFresh(fb uint64) bool {
+	return r.fresh[fb-r.first]
+}
+
+// written marks file block fb's data as durably written, so it is no
+// longer a candidate for unwinding.
+func (r *blockResolver) written(fb uint64, n int) {
+	for i := 0; i < n; i++ {
+		r.fresh[fb-r.first+uint64(i)] = false
+	}
+}
+
+// unwind releases every freshly allocated block whose data was never
+// written, restoring those file blocks to holes. Caller holds fs.mu.
+func (r *blockResolver) unwind() {
+	for i, fresh := range r.fresh {
+		if !fresh {
+			continue
+		}
+		r.fs.freeBlock(r.abs[i])
+		_ = r.fs.clearMapping(r.ind, r.first+uint64(i))
+		r.abs[i] = 0
+		r.fresh[i] = false
+	}
+}
+
+// contiguousRun returns how many full blocks starting at file block fb land
+// on consecutive device blocks, capped at maxBlocks. Blocks that fail to
+// resolve end the run; the failure resurfaces when the I/O loop reaches
+// them.
+func (r *blockResolver) contiguousRun(fb, a uint64, maxBlocks int) int {
+	run := 1
+	for run < maxBlocks {
+		next, err := r.resolve(fb + uint64(run))
+		if err != nil || next != a+uint64(run) {
+			break
+		}
+		run++
+	}
+	return run
+}
+
 // WriteAt writes p at byte offset off, growing the file as needed. Holes
 // created by sparse writes read back as zeros.
+//
+// Full-block spans whose device blocks are physically consecutive are
+// written with one vectored device call, so an aligned 64 KB write on a
+// freshly provisioned extent reaches the device as a single request instead
+// of sixteen. Mapping is resolved as the write progresses: on allocation
+// failure mid-range, everything mapped so far has been written and the
+// partial byte count is returned.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("minifs: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
 	}
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
@@ -45,8 +130,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	bs := uint64(f.fs.sb.blockSize)
+	res := &blockResolver{fs: f.fs, ind: ind, alloc: true, first: uint64(off) / bs}
 	written := 0
-	buf := make([]byte, bs)
+	var buf []byte // partial-block scratch, allocated only when needed
 	for written < len(p) {
 		pos := uint64(off) + uint64(written)
 		fileBlock := pos / bs
@@ -55,23 +141,40 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		if n > len(p)-written {
 			n = len(p) - written
 		}
-		abs, err := f.fs.blockFor(ind, fileBlock, true)
+		a, err := res.resolve(fileBlock)
 		if err != nil {
-			return written, fmt.Errorf("minifs: mapping block %d: %w", fileBlock, err)
+			res.unwind()
+			return written, err
 		}
 		if uint64(n) == bs {
-			// Full-block write: no read-modify-write needed.
-			if err := f.fs.dev.WriteBlock(abs, p[written:written+n]); err != nil {
+			run := res.contiguousRun(fileBlock, a, (len(p)-written)/int(bs))
+			n = run * int(bs)
+			if err := storage.WriteBlocks(f.fs.dev, a, p[written:written+n]); err != nil {
+				res.unwind()
 				return written, err
 			}
+			res.written(fileBlock, run)
 		} else {
-			if err := f.fs.dev.ReadBlock(abs, buf); err != nil {
+			if buf == nil {
+				buf = make([]byte, bs)
+			}
+			if res.isFresh(fileBlock) {
+				// A freshly allocated block holds stale device content,
+				// not file data: the bytes outside the write are a hole
+				// and must become zeros, never a previous owner's data.
+				for i := range buf {
+					buf[i] = 0
+				}
+			} else if err := f.fs.dev.ReadBlock(a, buf); err != nil {
+				res.unwind()
 				return written, err
 			}
 			copy(buf[inBlock:], p[written:written+n])
-			if err := f.fs.dev.WriteBlock(abs, buf); err != nil {
+			if err := f.fs.dev.WriteBlock(a, buf); err != nil {
+				res.unwind()
 				return written, err
 			}
+			res.written(fileBlock, 1)
 		}
 		written += n
 		if pos+uint64(n) > ind.size {
@@ -102,8 +205,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		want = int(max)
 	}
 	bs := uint64(f.fs.sb.blockSize)
+	res := &blockResolver{fs: f.fs, ind: ind, alloc: false, first: uint64(off) / bs}
 	read := 0
-	buf := make([]byte, bs)
+	var buf []byte // partial-block scratch, allocated only when needed
 	for read < want {
 		pos := uint64(off) + uint64(read)
 		fileBlock := pos / bs
@@ -112,17 +216,27 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		if n > want-read {
 			n = want - read
 		}
-		abs, err := f.fs.blockFor(ind, fileBlock, false)
+		a, err := res.resolve(fileBlock)
 		if err != nil {
-			return read, fmt.Errorf("minifs: mapping block %d: %w", fileBlock, err)
+			return read, err
 		}
-		if abs == 0 {
+		switch {
+		case a == 0:
 			// Hole: zeros.
 			for i := 0; i < n; i++ {
 				p[read+i] = 0
 			}
-		} else {
-			if err := f.fs.dev.ReadBlock(abs, buf); err != nil {
+		case uint64(n) == bs:
+			run := res.contiguousRun(fileBlock, a, (want-read)/int(bs))
+			n = run * int(bs)
+			if err := storage.ReadBlocks(f.fs.dev, a, p[read:read+n]); err != nil {
+				return read, err
+			}
+		default:
+			if buf == nil {
+				buf = make([]byte, bs)
+			}
+			if err := f.fs.dev.ReadBlock(a, buf); err != nil {
 				return read, err
 			}
 			copy(p[read:read+n], buf[inBlock:inBlock+uint64(n)])
@@ -155,7 +269,7 @@ func (f *File) Truncate(size int64) error {
 	keepBlocks := (uint64(size) + bs - 1) / bs
 	totalBlocks := (ind.size + bs - 1) / bs
 	for fb := keepBlocks; fb < totalBlocks; fb++ {
-		abs, err := f.fs.blockFor(ind, fb, false)
+		abs, _, err := f.fs.blockFor(ind, fb, false)
 		if err != nil {
 			return err
 		}

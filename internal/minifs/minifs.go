@@ -396,10 +396,13 @@ func (fs *FS) flushPtrBlocks() error {
 
 // blockFor maps a file-relative block number to an absolute device block,
 // allocating missing levels when alloc is true. Returns 0 when the block is
-// a hole and alloc is false.
-func (fs *FS) blockFor(ind *inode, fileBlock uint64, alloc bool) (uint64, error) {
+// a hole and alloc is false. The second result reports whether the data
+// block was freshly allocated by this call — callers that fail before
+// writing it must unwind the mapping, or a former hole would read back
+// stale device content instead of zeros.
+func (fs *FS) blockFor(ind *inode, fileBlock uint64, alloc bool) (uint64, bool, error) {
 	if fileBlock >= fs.maxFileBlocks() {
-		return 0, ErrFileTooBig
+		return 0, false, ErrFileTooBig
 	}
 	p := fs.ptrsPerBlock()
 	switch {
@@ -407,94 +410,97 @@ func (fs *FS) blockFor(ind *inode, fileBlock uint64, alloc bool) (uint64, error)
 		if ind.direct[fileBlock] == 0 && alloc {
 			abs, err := fs.allocBlock()
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			ind.direct[fileBlock] = abs
+			return abs, true, nil
 		}
-		return ind.direct[fileBlock], nil
+		return ind.direct[fileBlock], false, nil
 
 	case fileBlock < numDirect+p:
 		slot := fileBlock - numDirect
 		if ind.indirect == 0 {
 			if !alloc {
-				return 0, nil
+				return 0, false, nil
 			}
 			abs, err := fs.allocBlock()
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			if err := fs.writePtrBlock(abs, make([]uint64, p)); err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			ind.indirect = abs
 		}
 		ptrs, err := fs.readPtrBlock(ind.indirect)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if ptrs[slot] == 0 && alloc {
 			abs, err := fs.allocBlock()
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			ptrs[slot] = abs
 			if err := fs.writePtrBlock(ind.indirect, ptrs); err != nil {
-				return 0, err
+				return 0, false, err
 			}
+			return abs, true, nil
 		}
-		return ptrs[slot], nil
+		return ptrs[slot], false, nil
 
 	default:
 		rel := fileBlock - numDirect - p
 		outerSlot, innerSlot := rel/p, rel%p
 		if ind.dindirect == 0 {
 			if !alloc {
-				return 0, nil
+				return 0, false, nil
 			}
 			abs, err := fs.allocBlock()
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			if err := fs.writePtrBlock(abs, make([]uint64, p)); err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			ind.dindirect = abs
 		}
 		outer, err := fs.readPtrBlock(ind.dindirect)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if outer[outerSlot] == 0 {
 			if !alloc {
-				return 0, nil
+				return 0, false, nil
 			}
 			abs, err := fs.allocBlock()
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			if err := fs.writePtrBlock(abs, make([]uint64, p)); err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			outer[outerSlot] = abs
 			if err := fs.writePtrBlock(ind.dindirect, outer); err != nil {
-				return 0, err
+				return 0, false, err
 			}
 		}
 		inner, err := fs.readPtrBlock(outer[outerSlot])
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if inner[innerSlot] == 0 && alloc {
 			abs, err := fs.allocBlock()
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			inner[innerSlot] = abs
 			if err := fs.writePtrBlock(outer[outerSlot], inner); err != nil {
-				return 0, err
+				return 0, false, err
 			}
+			return abs, true, nil
 		}
-		return inner[innerSlot], nil
+		return inner[innerSlot], false, nil
 	}
 }
 

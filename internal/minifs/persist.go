@@ -207,7 +207,7 @@ func (fs *FS) writeInodeData(ind *inode, data []byte) error {
 	buf := make([]byte, bs)
 	for off := 0; off < len(data); off += bs {
 		fileBlock := uint64(off / bs)
-		abs, err := fs.blockFor(ind, fileBlock, true)
+		abs, _, err := fs.blockFor(ind, fileBlock, true)
 		if err != nil {
 			return err
 		}
@@ -230,7 +230,7 @@ func (fs *FS) readInodeData(ind *inode) ([]byte, error) {
 	buf := make([]byte, bs)
 	for off := 0; off < len(out); off += bs {
 		fileBlock := uint64(off / bs)
-		abs, err := fs.blockFor(ind, fileBlock, false)
+		abs, _, err := fs.blockFor(ind, fileBlock, false)
 		if err != nil {
 			return nil, err
 		}

@@ -58,14 +58,12 @@ func checkIO(idx uint64, buf []byte, blockSize int, numBlocks uint64) error {
 }
 
 // ReadFull reads n consecutive blocks starting at start into a single
-// buffer. It is a convenience for tests and workloads.
+// buffer. It is a convenience for tests and workloads; the transfer goes
+// through the vectored path when the device supports it.
 func ReadFull(d Device, start, n uint64) ([]byte, error) {
-	bs := d.BlockSize()
-	out := make([]byte, int(n)*bs)
-	for i := uint64(0); i < n; i++ {
-		if err := d.ReadBlock(start+i, out[int(i)*bs:int(i+1)*bs]); err != nil {
-			return nil, fmt.Errorf("storage: reading block %d: %w", start+i, err)
-		}
+	out := make([]byte, int(n)*d.BlockSize())
+	if err := ReadBlocks(d, start, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -73,14 +71,5 @@ func ReadFull(d Device, start, n uint64) ([]byte, error) {
 // WriteFull writes len(data)/BlockSize consecutive blocks starting at start.
 // len(data) must be a multiple of the block size.
 func WriteFull(d Device, start uint64, data []byte) error {
-	bs := d.BlockSize()
-	if len(data)%bs != 0 {
-		return fmt.Errorf("%w: data length %d not a block multiple", ErrBadBuffer, len(data))
-	}
-	for i := 0; i*bs < len(data); i++ {
-		if err := d.WriteBlock(start+uint64(i), data[i*bs:(i+1)*bs]); err != nil {
-			return fmt.Errorf("storage: writing block %d: %w", start+uint64(i), err)
-		}
-	}
-	return nil
+	return WriteBlocks(d, start, data)
 }

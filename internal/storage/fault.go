@@ -29,7 +29,7 @@ type FaultDevice struct {
 	failedWrite uint64
 }
 
-var _ Device = (*FaultDevice)(nil)
+var _ RangeDevice = (*FaultDevice)(nil)
 
 // NewFaultDevice wraps inner with fault injection disarmed.
 func NewFaultDevice(inner Device) *FaultDevice {
@@ -102,6 +102,45 @@ func (d *FaultDevice) WriteBlock(idx uint64, src []byte) error {
 	}
 	d.mu.Unlock()
 	return d.inner.WriteBlock(idx, src)
+}
+
+// ReadBlocks implements RangeDevice. A vectored request consumes one unit
+// of the armed budget per block; a range that would exhaust the budget
+// mid-transfer fails whole, like a merged bio erroring out.
+func (d *FaultDevice) ReadBlocks(start uint64, dst []byte) error {
+	n := len(dst) / d.inner.BlockSize()
+	d.mu.Lock()
+	if d.readArmed {
+		if d.readsLeft < n {
+			// The failure consumes the rest of the budget: once the device
+			// has failed, all later reads fail too, as documented.
+			d.readsLeft = 0
+			d.failedReads++
+			d.mu.Unlock()
+			return fmt.Errorf("%w: read of %d blocks at %d", ErrInjected, n, start)
+		}
+		d.readsLeft -= n
+	}
+	d.mu.Unlock()
+	return ReadBlocks(d.inner, start, dst)
+}
+
+// WriteBlocks implements RangeDevice with the same budget rule as
+// ReadBlocks.
+func (d *FaultDevice) WriteBlocks(start uint64, src []byte) error {
+	n := len(src) / d.inner.BlockSize()
+	d.mu.Lock()
+	if d.writeArmed {
+		if d.writesLeft < n {
+			d.writesLeft = 0
+			d.failedWrite++
+			d.mu.Unlock()
+			return fmt.Errorf("%w: write of %d blocks at %d", ErrInjected, n, start)
+		}
+		d.writesLeft -= n
+	}
+	d.mu.Unlock()
+	return WriteBlocks(d.inner, start, src)
 }
 
 // Sync implements Device.

@@ -17,7 +17,7 @@ type FileDevice struct {
 	closed    bool
 }
 
-var _ Device = (*FileDevice)(nil)
+var _ RangeDevice = (*FileDevice)(nil)
 
 // CreateFileDevice creates (or truncates) path as a device image of
 // numBlocks blocks of blockSize bytes.
@@ -97,6 +97,46 @@ func (d *FileDevice) WriteBlock(idx uint64, src []byte) error {
 	}
 	if _, err := d.f.WriteAt(src, int64(idx)*int64(d.blockSize)); err != nil {
 		return fmt.Errorf("storage: writing block %d: %w", idx, err)
+	}
+	return nil
+}
+
+// ReadBlocks implements RangeDevice: the whole range is one pread.
+func (d *FileDevice) ReadBlocks(start uint64, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRangeIO(start, dst, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	if _, err := d.f.ReadAt(dst, int64(start)*int64(d.blockSize)); err != nil {
+		return fmt.Errorf("storage: reading %d blocks at %d: %w",
+			len(dst)/d.blockSize, start, err)
+	}
+	return nil
+}
+
+// WriteBlocks implements RangeDevice: the whole range is one pwrite.
+func (d *FileDevice) WriteBlocks(start uint64, src []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRangeIO(start, src, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	if len(src) == 0 {
+		return nil
+	}
+	if _, err := d.f.WriteAt(src, int64(start)*int64(d.blockSize)); err != nil {
+		return fmt.Errorf("storage: writing %d blocks at %d: %w",
+			len(src)/d.blockSize, start, err)
 	}
 	return nil
 }

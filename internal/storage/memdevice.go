@@ -98,7 +98,7 @@ type MemDevice struct {
 	closed    bool
 }
 
-var _ Device = (*MemDevice)(nil)
+var _ RangeDevice = (*MemDevice)(nil)
 
 // NewMemDevice returns a zero-filled in-memory device with numBlocks blocks
 // of blockSize bytes.
@@ -160,6 +160,52 @@ func (d *MemDevice) WriteBlock(idx uint64, src []byte) error {
 		d.blocks[idx] = b
 	}
 	copy(b, src)
+	return nil
+}
+
+// ReadBlocks implements RangeDevice: one lock acquisition for the whole
+// range, one copy per block.
+func (d *MemDevice) ReadBlocks(start uint64, dst []byte) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRangeIO(start, dst, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	bs := d.blockSize
+	for i := 0; i*bs < len(dst); i++ {
+		out := dst[i*bs : (i+1)*bs]
+		if b, ok := d.blocks[start+uint64(i)]; ok {
+			copy(out, b)
+		} else {
+			d.bg.FillBlock(start+uint64(i), out)
+		}
+	}
+	return nil
+}
+
+// WriteBlocks implements RangeDevice.
+func (d *MemDevice) WriteBlocks(start uint64, src []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRangeIO(start, src, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	bs := d.blockSize
+	for i := 0; i*bs < len(src); i++ {
+		idx := start + uint64(i)
+		b, ok := d.blocks[idx]
+		if !ok {
+			b = make([]byte, bs)
+			d.blocks[idx] = b
+		}
+		copy(b, src[i*bs:(i+1)*bs])
+	}
 	return nil
 }
 

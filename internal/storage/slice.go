@@ -12,7 +12,7 @@ type SliceDevice struct {
 	length uint64
 }
 
-var _ Device = (*SliceDevice)(nil)
+var _ RangeDevice = (*SliceDevice)(nil)
 
 // NewSliceDevice returns a view of parent covering blocks
 // [start, start+length). It fails if the range exceeds the parent.
@@ -44,6 +44,23 @@ func (d *SliceDevice) WriteBlock(idx uint64, src []byte) error {
 		return fmt.Errorf("%w: block %d, slice has %d", ErrOutOfRange, idx, d.length)
 	}
 	return d.parent.WriteBlock(d.start+idx, src)
+}
+
+// ReadBlocks implements RangeDevice by offsetting the range into the
+// parent, preserving the parent's native vectored path.
+func (d *SliceDevice) ReadBlocks(start uint64, dst []byte) error {
+	if err := checkRangeIO(start, dst, d.BlockSize(), d.length); err != nil {
+		return err
+	}
+	return ReadBlocks(d.parent, d.start+start, dst)
+}
+
+// WriteBlocks implements RangeDevice.
+func (d *SliceDevice) WriteBlocks(start uint64, src []byte) error {
+	if err := checkRangeIO(start, src, d.BlockSize(), d.length); err != nil {
+		return err
+	}
+	return WriteBlocks(d.parent, d.start+start, src)
 }
 
 // Sync implements Device.

@@ -16,7 +16,7 @@ type Snapshot struct {
 	bg        Background
 }
 
-var _ Device = (*Snapshot)(nil)
+var _ RangeDevice = (*Snapshot)(nil)
 
 // BlockSize implements Device.
 func (s *Snapshot) BlockSize() int { return s.blockSize }
@@ -39,6 +39,26 @@ func (s *Snapshot) ReadBlock(idx uint64, dst []byte) error {
 
 // WriteBlock implements Device; snapshots are read-only.
 func (s *Snapshot) WriteBlock(uint64, []byte) error { return ErrReadOnly }
+
+// ReadBlocks implements RangeDevice.
+func (s *Snapshot) ReadBlocks(start uint64, dst []byte) error {
+	if err := checkRangeIO(start, dst, s.blockSize, s.numBlocks); err != nil {
+		return err
+	}
+	bs := s.blockSize
+	for i := 0; i*bs < len(dst); i++ {
+		out := dst[i*bs : (i+1)*bs]
+		if b, ok := s.blocks[start+uint64(i)]; ok {
+			copy(out, b)
+		} else {
+			s.bg.FillBlock(start+uint64(i), out)
+		}
+	}
+	return nil
+}
+
+// WriteBlocks implements RangeDevice; snapshots are read-only.
+func (s *Snapshot) WriteBlocks(uint64, []byte) error { return ErrReadOnly }
 
 // Sync implements Device.
 func (s *Snapshot) Sync() error { return nil }

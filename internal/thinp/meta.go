@@ -1,6 +1,7 @@
 package thinp
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -22,49 +23,166 @@ import (
 // metadata secrecy — hidden-volume entries are indistinguishable from
 // dummy-volume entries, which the adversary package verifies.
 
-const superLen = 8 + 4 + 4 + 8 + 8 + 4
+const (
+	superLen = 8 + 4 + 4 + 8 + 8 + 4
+	// superTxOff is the byte offset of the transaction id within the
+	// superblock, patched in place by incremental commits.
+	superTxOff = 8 + 4 + 4 + 8
+)
 
 // Commit persists the pool metadata transactionally: the transaction id is
-// incremented and the full metadata image is rewritten. Blocks allocated
-// since the previous commit become durable; the in-memory transaction
-// record is cleared.
+// incremented and the metadata image is brought up to date on the device.
+// Blocks allocated since the previous commit become durable; the in-memory
+// transaction record is cleared.
+//
+// Commit is incremental: it tracks which thins and bitmap words changed
+// since the previous commit and rewrites only the metadata blocks whose
+// bytes differ, so a commit after touching a handful of blocks costs O(delta)
+// device writes instead of a full O(total-mapped-blocks) image rewrite. The
+// on-disk format is identical to a full rewrite — OpenPool cannot tell the
+// two apart.
 func (p *Pool) Commit() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.commitLocked()
+	return p.commitLocked(false)
 }
 
-func (p *Pool) commitLocked() error {
+// CommitFull persists the pool metadata by rewriting the entire image,
+// bypassing the incremental path. It exists as an escape hatch (and to give
+// tests a reference image to compare the incremental path against).
+func (p *Pool) CommitFull() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.commitLocked(true)
+}
+
+func (p *Pool) commitLocked(full bool) error {
 	p.txID++
-	buf := p.marshalLocked()
-	bs := p.meta.BlockSize()
-	padded := buf
-	if rem := len(buf) % bs; rem != 0 {
-		padded = append(buf, make([]byte, bs-rem)...)
+	if full || p.structDirty || p.lastImage == nil {
+		return p.commitFullLocked()
 	}
-	if uint64(len(padded)/bs) > p.meta.NumBlocks() {
-		return fmt.Errorf("%w: metadata image %d bytes", ErrMetaSpace, len(padded))
+	return p.commitDeltaLocked()
+}
+
+// commitFullLocked rebuilds every per-thin segment, assembles the whole
+// image and writes it out, priming the caches the incremental path runs on.
+func (p *Pool) commitFullLocked() error {
+	for id, tm := range p.thins {
+		p.segs[id] = marshalThinFull(tm)
 	}
-	if err := storage.WriteFull(p.meta, 0, padded); err != nil {
+	image, err := p.assembleLocked(nil)
+	if err != nil {
+		return err
+	}
+	if err := storage.WriteBlocks(p.meta, 0, image); err != nil {
 		return fmt.Errorf("thinp: writing metadata: %w", err)
 	}
 	if err := p.meta.Sync(); err != nil {
 		return fmt.Errorf("thinp: syncing metadata: %w", err)
 	}
-	p.txAlloc = make(map[uint64]struct{})
+	p.commitDoneLocked(image)
 	return nil
 }
 
-func (p *Pool) marshalLocked() []byte {
-	size := superLen + p.bmLen()
+// commitDeltaLocked re-marshals only the dirty thins, reassembles the image
+// from cached segments and writes the metadata blocks that differ from the
+// previous commit — block 0 always carries the new transaction id.
+func (p *Pool) commitDeltaLocked() error {
+	if len(p.dirtyThins) == 0 && len(p.dirtyBM) == 0 {
+		// Nothing changed but the transaction id: patch it into the cached
+		// image and rewrite the superblock block alone.
+		putUint64(p.lastImage[superTxOff:], p.txID)
+		bs := p.meta.BlockSize()
+		if err := p.meta.WriteBlock(0, p.lastImage[:bs]); err != nil {
+			return fmt.Errorf("thinp: writing metadata superblock: %w", err)
+		}
+		if err := p.meta.Sync(); err != nil {
+			return fmt.Errorf("thinp: syncing metadata: %w", err)
+		}
+		p.txAlloc = make(map[uint64]struct{})
+		return nil
+	}
+	for id := range p.dirtyThins {
+		if tm, ok := p.thins[id]; ok {
+			p.segs[id] = marshalThinDelta(tm, p.segs[id])
+		}
+	}
+	image, err := p.assembleLocked(p.lastImage[superLen : superLen+p.bmLen()])
+	if err != nil {
+		return err
+	}
+	bs := p.meta.BlockSize()
+	prev := p.lastImage
+	// Walk the new image block-wise and write maximal runs of changed
+	// blocks. Blocks past the end of the previous image always count as
+	// changed; stale device blocks past the end of the new image are left
+	// alone — the load path is count-driven and never reads them.
+	runStart := -1
+	flush := func(end int) error {
+		if runStart < 0 {
+			return nil
+		}
+		err := storage.WriteBlocks(p.meta, uint64(runStart), image[runStart*bs:end*bs])
+		runStart = -1
+		if err != nil {
+			return fmt.Errorf("thinp: writing metadata delta: %w", err)
+		}
+		return nil
+	}
+	nBlocks := len(image) / bs
+	for b := 0; b < nBlocks; b++ {
+		changed := (b+1)*bs > len(prev) ||
+			!bytes.Equal(image[b*bs:(b+1)*bs], prev[b*bs:(b+1)*bs])
+		if changed && runStart < 0 {
+			runStart = b
+		}
+		if !changed {
+			if err := flush(b); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(nBlocks); err != nil {
+		return err
+	}
+	if err := p.meta.Sync(); err != nil {
+		return fmt.Errorf("thinp: syncing metadata: %w", err)
+	}
+	p.commitDoneLocked(image)
+	return nil
+}
+
+// commitDoneLocked installs the freshly committed image and clears the
+// transaction record and dirty tracking.
+func (p *Pool) commitDoneLocked(image []byte) {
+	p.lastImage = image
+	p.structDirty = false
+	p.txAlloc = make(map[uint64]struct{})
+	clear(p.dirtyThins)
+	clear(p.dirtyBM)
+}
+
+// assembleLocked builds the padded metadata image from the superblock, the
+// bitmap and the cached per-thin segments. Only dirty segments have been
+// re-marshaled by the caller; the rest are reused byte-for-byte. When
+// prevBM (the previous image's bitmap region) is given, the bitmap region
+// is copied from it and only the dirty words are re-encoded; nil marshals
+// the whole live bitmap.
+func (p *Pool) assembleLocked(prevBM []byte) ([]byte, error) {
 	ids := make([]int, 0, len(p.thins))
+	size := superLen + p.bmLen()
 	for id := range p.thins {
 		ids = append(ids, id)
-		size += 4 + 8 + 8 + 16*len(p.thins[id].mapping)
+		size += len(p.segs[id])
 	}
 	sort.Ints(ids)
 
-	buf := make([]byte, size)
+	bs := p.meta.BlockSize()
+	padded := (size + bs - 1) / bs * bs
+	if uint64(padded/bs) > p.meta.NumBlocks() {
+		return nil, fmt.Errorf("%w: metadata image %d bytes", ErrMetaSpace, padded)
+	}
+	buf := make([]byte, padded)
 	off := 0
 	putUint64(buf[off:], superMagic)
 	off += 8
@@ -79,33 +197,117 @@ func (p *Pool) marshalLocked() []byte {
 	putUint32(buf[off:], uint32(len(p.thins)))
 	off += 4
 
-	n, err := p.bm.MarshalTo(buf[off:])
-	if err != nil {
-		// The buffer is sized from bmLen above; failure is impossible.
-		panic("thinp: bitmap marshal sizing: " + err.Error())
+	if prevBM != nil {
+		region := buf[off : off+p.bmLen()]
+		copy(region, prevBM)
+		for w := range p.dirtyBM {
+			putUint64(region[w*8:], p.bm.words[w])
+		}
+		off += p.bmLen()
+	} else {
+		n, err := p.bm.MarshalTo(buf[off:])
+		if err != nil {
+			// The buffer is sized from bmLen above; failure is impossible.
+			panic("thinp: bitmap marshal sizing: " + err.Error())
+		}
+		off += n
 	}
-	off += n
 
 	for _, id := range ids {
-		tm := p.thins[id]
-		putUint32(buf[off:], uint32(id))
-		off += 4
-		putUint64(buf[off:], tm.virtBlocks)
-		off += 8
-		putUint64(buf[off:], uint64(len(tm.mapping)))
-		off += 8
-		vbs := make([]uint64, 0, len(tm.mapping))
-		for vb := range tm.mapping {
-			vbs = append(vbs, vb)
-		}
-		sort.Slice(vbs, func(i, j int) bool { return vbs[i] < vbs[j] })
-		for _, vb := range vbs {
-			putUint64(buf[off:], vb)
-			off += 8
-			putUint64(buf[off:], tm.mapping[vb])
-			off += 8
-		}
+		off += copy(buf[off:], p.segs[id])
 	}
+	return buf, nil
+}
+
+// thinHeaderLen is the fixed per-thin segment header: id u32 | virtBlocks
+// u64 | mapCount u64, followed by 16-byte (vblock, pblock) entries sorted
+// by vblock.
+const thinHeaderLen = 4 + 8 + 8
+
+// putThinHeader writes a segment header for tm's current mapping count.
+func putThinHeader(buf []byte, tm *thinMeta) {
+	putUint32(buf, uint32(tm.id))
+	putUint64(buf[4:], tm.virtBlocks)
+	putUint64(buf[12:], uint64(len(tm.mapping)))
+}
+
+// marshalThinFull serializes one thin device's metadata segment from
+// scratch, sorting the whole mapping, and resets the delta bookkeeping so
+// subsequent commits can splice.
+func marshalThinFull(tm *thinMeta) []byte {
+	vbs := make([]uint64, 0, len(tm.mapping))
+	for vb := range tm.mapping {
+		vbs = append(vbs, vb)
+	}
+	sort.Slice(vbs, func(i, j int) bool { return vbs[i] < vbs[j] })
+	buf := make([]byte, thinHeaderLen+16*len(vbs))
+	putThinHeader(buf, tm)
+	off := thinHeaderLen
+	for _, vb := range vbs {
+		putUint64(buf[off:], vb)
+		putUint64(buf[off+8:], tm.mapping[vb])
+		off += 16
+	}
+	tm.sorted = vbs
+	clear(tm.added)
+	clear(tm.removed)
+	return buf
+}
+
+// marshalThinDelta rebuilds tm's segment from the previous marshal by
+// merging the added entries in and splicing the removed ones out. Unchanged
+// entries are block-copied from the old segment, so the cost is one memcpy
+// pass plus O(d log d) for the delta — no full re-sort, no per-entry
+// re-encode of a large cold mapping.
+func marshalThinDelta(tm *thinMeta, old []byte) []byte {
+	if old == nil {
+		return marshalThinFull(tm)
+	}
+	add := make([]uint64, 0, len(tm.added))
+	for vb := range tm.added {
+		add = append(add, vb)
+	}
+	sort.Slice(add, func(i, j int) bool { return add[i] < add[j] })
+
+	buf := make([]byte, thinHeaderLen+16*len(tm.mapping))
+	putThinHeader(buf, tm)
+	newSorted := make([]uint64, 0, len(tm.mapping))
+
+	w := thinHeaderLen // write offset into buf
+	oi, ai := 0, 0     // indexes into tm.sorted and add
+	runStart := 0      // first old index of the pending copy run
+	flushRun := func(end int) {
+		if end > runStart {
+			w += copy(buf[w:], old[thinHeaderLen+16*runStart:thinHeaderLen+16*end])
+		}
+		runStart = end
+	}
+	for oi < len(tm.sorted) || ai < len(add) {
+		if oi < len(tm.sorted) && (ai >= len(add) || tm.sorted[oi] <= add[ai]) {
+			vb := tm.sorted[oi]
+			if _, gone := tm.removed[vb]; gone {
+				flushRun(oi)
+				runStart = oi + 1
+			} else {
+				newSorted = append(newSorted, vb)
+			}
+			oi++
+			continue
+		}
+		flushRun(oi)
+		runStart = oi
+		vb := add[ai]
+		putUint64(buf[w:], vb)
+		putUint64(buf[w+8:], tm.mapping[vb])
+		w += 16
+		newSorted = append(newSorted, vb)
+		ai++
+	}
+	flushRun(oi)
+
+	tm.sorted = newSorted
+	clear(tm.added)
+	clear(tm.removed)
 	return buf
 }
 
@@ -164,13 +366,16 @@ func (p *Pool) load() error {
 		if off+int(count)*16 > len(raw) {
 			return fmt.Errorf("%w: truncated mapping table for thin %d", ErrCorruptMeta, id)
 		}
-		tm := &thinMeta{id: id, virtBlocks: virt, mapping: make(map[uint64]uint64, count)}
+		tm := newThinMeta(id, virt)
+		tm.mapping = make(map[uint64]uint64, count)
+		tm.sorted = make([]uint64, 0, count)
 		for j := uint64(0); j < count; j++ {
 			vb := getUint64(raw[off:])
 			off += 8
 			pb := getUint64(raw[off:])
 			off += 8
 			tm.mapping[vb] = pb
+			tm.sorted = append(tm.sorted, vb)
 		}
 		p.thins[id] = tm
 	}

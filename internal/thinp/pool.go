@@ -88,6 +88,44 @@ type thinMeta struct {
 	id         int
 	virtBlocks uint64
 	mapping    map[uint64]uint64 // virtual block -> physical block
+
+	// Delta bookkeeping for the incremental metadata commit. sorted holds
+	// the virtual blocks of the last marshaled segment in ascending order;
+	// added and removed record mapping entries that appeared/disappeared
+	// since, so the segment can be re-marshaled by splicing around the
+	// changed entries instead of re-sorting and re-encoding every mapping.
+	sorted  []uint64
+	added   map[uint64]struct{}
+	removed map[uint64]struct{}
+}
+
+// newThinMeta returns an empty record for a thin of the given geometry.
+func newThinMeta(id int, virtBlocks uint64) *thinMeta {
+	return &thinMeta{
+		id:         id,
+		virtBlocks: virtBlocks,
+		mapping:    make(map[uint64]uint64),
+		added:      make(map[uint64]struct{}),
+		removed:    make(map[uint64]struct{}),
+	}
+}
+
+// noteMapped records that vb was mapped since the last segment marshal.
+func (tm *thinMeta) noteMapped(vb uint64) {
+	tm.added[vb] = struct{}{}
+}
+
+// noteUnmapped records that vb was unmapped. An entry that was added since
+// the last marshal simply disappears; an entry the marshaled segment still
+// carries must be spliced out.
+func (tm *thinMeta) noteUnmapped(vb uint64) {
+	if _, ok := tm.added[vb]; ok {
+		delete(tm.added, vb)
+		// If vb was also remapped over a committed entry, removed already
+		// holds it and must keep holding it.
+		return
+	}
+	tm.removed[vb] = struct{}{}
 }
 
 // Pool is the thin-pool target: data device + metadata device + global
@@ -106,6 +144,18 @@ type Pool struct {
 	// can roll back and tests can verify the invariant.
 	txAlloc map[uint64]struct{}
 
+	// Incremental-commit state. lastImage is the padded metadata image as
+	// of the previous commit and segs holds the marshaled per-thin
+	// segments it was assembled from; dirtyThins and dirtyBM record which
+	// thins and bitmap words changed since, so Commit can rewrite only the
+	// metadata blocks whose bytes actually moved. structDirty forces a
+	// full rewrite (thin created/deleted, or caches not yet primed).
+	lastImage   []byte
+	segs        map[int][]byte
+	dirtyThins  map[int]struct{}
+	dirtyBM     map[uint64]struct{}
+	structDirty bool
+
 	// DummyBlocksWritten counts noise blocks produced by the dummy-write
 	// mechanism; experiments read it for write-amplification accounting.
 	dummyBlocksWritten uint64
@@ -116,17 +166,21 @@ type Pool struct {
 func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 	opts.fill()
 	p := &Pool{
-		data:    data,
-		meta:    meta,
-		bm:      NewBitmap(data.NumBlocks()),
-		thins:   make(map[int]*thinMeta),
-		opts:    opts,
-		txAlloc: make(map[uint64]struct{}),
+		data:        data,
+		meta:        meta,
+		bm:          NewBitmap(data.NumBlocks()),
+		thins:       make(map[int]*thinMeta),
+		opts:        opts,
+		txAlloc:     make(map[uint64]struct{}),
+		segs:        make(map[int][]byte),
+		dirtyThins:  make(map[int]struct{}),
+		dirtyBM:     make(map[uint64]struct{}),
+		structDirty: true,
 	}
 	if err := p.checkMetaCapacity(); err != nil {
 		return nil, err
 	}
-	if err := p.commitLocked(); err != nil {
+	if err := p.commitLocked(true); err != nil {
 		return nil, fmt.Errorf("thinp: formatting metadata: %w", err)
 	}
 	return p, nil
@@ -136,10 +190,14 @@ func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 func OpenPool(data, meta storage.Device, opts Options) (*Pool, error) {
 	opts.fill()
 	p := &Pool{
-		data:    data,
-		meta:    meta,
-		opts:    opts,
-		txAlloc: make(map[uint64]struct{}),
+		data:        data,
+		meta:        meta,
+		opts:        opts,
+		txAlloc:     make(map[uint64]struct{}),
+		segs:        make(map[int][]byte),
+		dirtyThins:  make(map[int]struct{}),
+		dirtyBM:     make(map[uint64]struct{}),
+		structDirty: true,
 	}
 	if err := p.load(); err != nil {
 		return nil, err
@@ -223,15 +281,14 @@ func (p *Pool) CreateThin(id int, virtBlocks uint64) error {
 	if _, ok := p.thins[id]; ok {
 		return fmt.Errorf("%w: id %d", ErrThinExists, id)
 	}
-	p.thins[id] = &thinMeta{
-		id:         id,
-		virtBlocks: virtBlocks,
-		mapping:    make(map[uint64]uint64),
-	}
+	p.thins[id] = newThinMeta(id, virtBlocks)
+	p.structDirty = true
 	return nil
 }
 
-// DeleteThin removes a thin device, freeing all its blocks.
+// DeleteThin removes a thin device, freeing all its blocks. Freed blocks
+// also leave the pending-transaction record, exactly as discard does — a
+// deleted-then-rolled-back transaction must not re-mark them allocated.
 func (p *Pool) DeleteThin(id int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -243,8 +300,13 @@ func (p *Pool) DeleteThin(id int) error {
 		if err := p.bm.Clear(pb); err != nil {
 			return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
 		}
+		delete(p.txAlloc, pb)
+		p.markBMDirty(pb)
 	}
 	delete(p.thins, id)
+	delete(p.segs, id)
+	delete(p.dirtyThins, id)
+	p.structDirty = true
 	return nil
 }
 
@@ -351,6 +413,18 @@ func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
 	return out, nil
 }
 
+// markBMDirty records that the bitmap word covering block pb changed since
+// the last commit. Caller holds p.mu.
+func (p *Pool) markBMDirty(pb uint64) {
+	p.dirtyBM[pb/64] = struct{}{}
+}
+
+// markThinDirty records that thin id's mapping changed since the last
+// commit. Caller holds p.mu.
+func (p *Pool) markThinDirty(id int) {
+	p.dirtyThins[id] = struct{}{}
+}
+
 // allocateLocked picks and marks one free block. Caller holds p.mu.
 func (p *Pool) allocateLocked() (uint64, error) {
 	pb, err := p.opts.Allocator.PickFree(p.bm)
@@ -361,6 +435,7 @@ func (p *Pool) allocateLocked() (uint64, error) {
 		return 0, fmt.Errorf("thinp: marking block %d: %w", pb, err)
 	}
 	p.txAlloc[pb] = struct{}{}
+	p.markBMDirty(pb)
 	return pb, nil
 }
 
@@ -372,9 +447,15 @@ func (p *Pool) provisionLocked(tm *thinMeta, vblock uint64) (uint64, error) {
 		return 0, err
 	}
 	tm.mapping[vblock] = pb
+	tm.noteMapped(vblock)
+	p.markThinDirty(tm.id)
 	if p.opts.Policy != nil {
 		if target, count, fire := p.opts.Policy.OnProvision(tm.id); fire {
 			if err := p.dummyWriteLocked(target, count); err != nil {
+				// Unwind this provision: a block left mapped with its data
+				// never written would read back stale device content
+				// instead of zeros.
+				_ = p.discardLocked(tm, vblock)
 				return 0, fmt.Errorf("thinp: dummy write: %w", err)
 			}
 		}
@@ -383,13 +464,17 @@ func (p *Pool) provisionLocked(tm *thinMeta, vblock uint64) (uint64, error) {
 }
 
 // dummyWriteLocked performs one dummy write: count noise blocks into the
-// target thin device at random unmapped virtual offsets. Caller holds p.mu.
+// target thin device at random unmapped virtual offsets. One throwaway
+// keystream covers the whole burst (its key is discarded with the stream
+// when the burst ends), so a lambda-block dummy write costs one AES key
+// schedule instead of lambda. Caller holds p.mu.
 func (p *Pool) dummyWriteLocked(target, count int) error {
 	tm, ok := p.thins[target]
 	if !ok {
 		return fmt.Errorf("%w: dummy target %d", ErrNoSuchThin, target)
 	}
 	noise := make([]byte, p.data.BlockSize())
+	var burst *xcrypto.NoiseStream
 	for i := 0; i < count; i++ {
 		if uint64(len(tm.mapping)) >= tm.virtBlocks || p.bm.Free() == 0 {
 			// Target volume or pool is full; a real deployment relies on
@@ -406,15 +491,26 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 			return nil // pool filled up mid-write; same best-effort rule
 		}
 		tm.mapping[vb] = pb
-		if err := xcrypto.FillNoise(p.opts.Entropy, noise); err != nil {
-			return fmt.Errorf("thinp: generating noise: %w", err)
+		tm.noteMapped(vb)
+		p.markThinDirty(tm.id)
+		if burst == nil {
+			burst, err = xcrypto.NewNoiseStream(p.opts.Entropy)
+			if err != nil {
+				return fmt.Errorf("thinp: generating noise: %w", err)
+			}
 		}
+		burst.Fill(noise)
 		if p.opts.Meter != nil {
 			// Noise generation is an encryption pass (same algorithm,
 			// discarded key) and costs the same CPU time.
 			p.opts.Meter.ChargeCrypto(len(noise))
 		}
 		if err := p.data.WriteBlock(pb, noise); err != nil {
+			// Unwind the mapping of the block whose noise never landed: a
+			// mapped dummy block holding stale background content instead
+			// of keystream output would be distinguishable from real
+			// dummy data.
+			_ = p.discardLocked(tm, vb)
 			return fmt.Errorf("thinp: writing noise block %d: %w", pb, err)
 		}
 		p.dummyBlocksWritten++
@@ -452,9 +548,12 @@ func (p *Pool) discardLocked(tm *thinMeta, vblock uint64) error {
 		return nil // discard of an unprovisioned block is a no-op
 	}
 	delete(tm.mapping, vblock)
+	tm.noteUnmapped(vblock)
 	if err := p.bm.Clear(pb); err != nil {
 		return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
 	}
 	delete(p.txAlloc, pb)
+	p.markBMDirty(pb)
+	p.markThinDirty(tm.id)
 	return nil
 }

@@ -1,0 +1,354 @@
+package thinp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mobiceal/internal/prng"
+	"mobiceal/internal/storage"
+)
+
+// twinPools builds two pools with identical seeds and configuration so one
+// can be driven block-at-a-time and the other vectored, and every piece of
+// resulting state compared.
+func twinPools(t *testing.T, dataBlocks uint64, mkOpts func() Options) (a, b *Pool) {
+	t.Helper()
+	build := func() *Pool {
+		data := storage.NewMemDevice(blockSize, dataBlocks)
+		meta := storage.NewMemDevice(blockSize, MetaBlocksNeeded(dataBlocks, blockSize))
+		p, err := CreatePool(data, meta, mkOpts())
+		if err != nil {
+			t.Fatalf("CreatePool: %v", err)
+		}
+		return p
+	}
+	return build(), build()
+}
+
+// TestRangeMatchesBlockwiseThin cross-checks the vectored thin path against
+// the per-block path on a random workload with holes and mid-range
+// provisioning, under both allocators and with the dummy policy firing.
+func TestRangeMatchesBlockwiseThin(t *testing.T) {
+	cases := []struct {
+		name   string
+		mkOpts func() Options
+	}{
+		{"sequential", func() Options {
+			return Options{
+				Allocator: NewSequentialAllocator(),
+				Entropy:   prng.NewSeededEntropy(11),
+				DummySrc:  prng.NewSource(12),
+			}
+		}},
+		{"random", func() Options {
+			return Options{
+				Allocator: NewRandomAllocator(prng.NewSource(13)),
+				Entropy:   prng.NewSeededEntropy(11),
+				DummySrc:  prng.NewSource(12),
+			}
+		}},
+		{"dummy-policy", func() Options {
+			return Options{
+				Allocator: NewRandomAllocator(prng.NewSource(13)),
+				Policy:    &fixedPolicy{watch: 1, target: 2, count: 2},
+				Entropy:   prng.NewSeededEntropy(11),
+				DummySrc:  prng.NewSource(12),
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const virt = 96
+			pa, pb := twinPools(t, 1024, tc.mkOpts)
+			for _, p := range []*Pool{pa, pb} {
+				for id := 1; id <= 2; id++ {
+					if err := p.CreateThin(id, virt); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			ta, err := pa.Thin(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := pb.Thin(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 100; i++ {
+				start := uint64(rng.Intn(virt))
+				n := uint64(rng.Intn(virt-int(start))) + 1
+				buf := make([]byte, n*blockSize)
+				if rng.Intn(3) > 0 {
+					rng.Read(buf)
+					// Per-block on pool A...
+					for j := uint64(0); j < n; j++ {
+						if err := ta.WriteBlock(start+j, buf[j*blockSize:(j+1)*blockSize]); err != nil {
+							t.Fatalf("WriteBlock: %v", err)
+						}
+					}
+					// ...vectored on pool B.
+					if err := tb.WriteBlocks(start, buf); err != nil {
+						t.Fatalf("WriteBlocks: %v", err)
+					}
+				} else {
+					gotA := make([]byte, n*blockSize)
+					for j := uint64(0); j < n; j++ {
+						if err := ta.ReadBlock(start+j, gotA[j*blockSize:(j+1)*blockSize]); err != nil {
+							t.Fatalf("ReadBlock: %v", err)
+						}
+					}
+					gotB := make([]byte, n*blockSize)
+					if err := tb.ReadBlocks(start, gotB); err != nil {
+						t.Fatalf("ReadBlocks: %v", err)
+					}
+					if !bytes.Equal(gotA, gotB) {
+						t.Fatalf("read mismatch at %d (%d blocks)", start, n)
+					}
+				}
+			}
+			for _, p := range []*Pool{pa, pb} {
+				if err := p.CheckIntegrity(); err != nil {
+					t.Fatalf("CheckIntegrity: %v", err)
+				}
+			}
+			// Both paths must converge to identical pool state: same
+			// mappings, same allocations, same dummy traffic.
+			for id := 1; id <= 2; id++ {
+				blksA, err := pa.PhysicalBlocks(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blksB, err := pb.PhysicalBlocks(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(blksA) != len(blksB) {
+					t.Fatalf("thin %d: %d vs %d physical blocks", id, len(blksA), len(blksB))
+				}
+				for i := range blksA {
+					if blksA[i] != blksB[i] {
+						t.Fatalf("thin %d: physical block %d differs: %d vs %d", id, i, blksA[i], blksB[i])
+					}
+				}
+			}
+			if pa.DummyBlocksWritten() != pb.DummyBlocksWritten() {
+				t.Fatalf("dummy blocks: %d vs %d", pa.DummyBlocksWritten(), pb.DummyBlocksWritten())
+			}
+			// Full-volume vectored read must equal per-block read.
+			full := virt * blockSize
+			gotA := make([]byte, full)
+			gotB := make([]byte, full)
+			for j := uint64(0); j < virt; j++ {
+				if err := ta.ReadBlock(j, gotA[j*blockSize:(j+1)*blockSize]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tb.ReadBlocks(0, gotB); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotA, gotB) {
+				t.Fatal("final volume content diverges")
+			}
+		})
+	}
+}
+
+func TestThinRangeValidation(t *testing.T) {
+	p, _, _ := newTestPool(t, 128, Options{})
+	if err := p.CreateThin(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	thin, err := p.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := thin.WriteBlocks(0, make([]byte, blockSize+1)); !errors.Is(err, storage.ErrBadBuffer) {
+		t.Fatalf("misaligned err = %v, want ErrBadBuffer", err)
+	}
+	if err := thin.ReadBlocks(14, make([]byte, 3*blockSize)); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("overrun err = %v, want ErrOutOfRange", err)
+	}
+	if err := thin.WriteBlocks(0, nil); err != nil {
+		t.Fatalf("zero-length write: %v", err)
+	}
+	if p.AllocatedBlocks() != 0 {
+		t.Fatal("failed range writes provisioned blocks")
+	}
+}
+
+// TestThinRangeFaultPropagation arms a fault under the data device and
+// verifies the vectored write reports it and leaves the pool consistent.
+func TestThinRangeFaultPropagation(t *testing.T) {
+	inner := storage.NewMemDevice(blockSize, 256)
+	fd := storage.NewFaultDevice(inner)
+	meta := storage.NewMemDevice(blockSize, MetaBlocksNeeded(256, blockSize))
+	p, err := CreatePool(fd, meta, Options{Entropy: prng.NewSeededEntropy(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateThin(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	thin, err := p.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.FailWritesAfter(4)
+	err = thin.WriteBlocks(0, bytes.Repeat([]byte{0xCD}, 16*blockSize))
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("pool inconsistent after injected fault: %v", err)
+	}
+	// Provisions whose data never landed are unwound: nothing stays
+	// mapped (the coalesced extent failed whole) and the range still
+	// reads as zeros, not stale physical content.
+	if got := p.AllocatedBlocks(); got != 0 {
+		t.Fatalf("allocated = %d after failed range write, want 0", got)
+	}
+	fd.Disarm()
+	zeros := make([]byte, 16*blockSize)
+	if err := thin.ReadBlocks(0, zeros); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range zeros {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after unwound write, want 0", i, b)
+		}
+	}
+	// The volume remains usable after the fault clears.
+	if err := thin.WriteBlocks(0, make([]byte, 16*blockSize)); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+	if err := thin.ReadBlocks(0, make([]byte, 16*blockSize)); err != nil {
+		t.Fatalf("read after disarm: %v", err)
+	}
+}
+
+// TestBatchProvisionIntegrity provisions large ranges in one call and
+// checks the pool invariants and the per-provision dummy trigger count.
+func TestBatchProvisionIntegrity(t *testing.T) {
+	pol := &fixedPolicy{watch: 1, target: 2, count: 1}
+	p, _, _ := newTestPool(t, 4096, Options{
+		Policy:   pol,
+		Entropy:  prng.NewSeededEntropy(5),
+		DummySrc: prng.NewSource(6),
+	})
+	if err := p.CreateThin(1, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateThin(2, 512); err != nil {
+		t.Fatal(err)
+	}
+	thin, err := p.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := thin.WriteBlocks(0, make([]byte, 256*blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("CheckIntegrity after batch provisioning: %v", err)
+	}
+	mapped, err := p.MappedBlocks(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped != 256 {
+		t.Fatalf("mapped = %d, want 256", mapped)
+	}
+	// The policy is consulted once per provisioned block (Sec. IV-B
+	// trigger semantics survive batching).
+	if p.DummyBlocksWritten() != 256 {
+		t.Fatalf("dummy blocks = %d, want 256 (one per provision)", p.DummyBlocksWritten())
+	}
+	// Overwriting the same range provisions nothing and fires nothing.
+	before := p.DummyBlocksWritten()
+	if err := thin.WriteBlocks(0, make([]byte, 256*blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if p.DummyBlocksWritten() != before {
+		t.Fatal("overwrite fired the dummy policy")
+	}
+}
+
+// TestProvisionUnwindOnDummyFailure arms a fault so the dummy-write noise
+// lands on a dead device: the triggering provision must be unwound, leaving
+// the vblock unmapped (reads zeros) and the pool consistent.
+func TestProvisionUnwindOnDummyFailure(t *testing.T) {
+	inner := storage.NewMemDevice(blockSize, 256)
+	fd := storage.NewFaultDevice(inner)
+	meta := storage.NewMemDevice(blockSize, MetaBlocksNeeded(256, blockSize))
+	p, err := CreatePool(fd, meta, Options{
+		Policy:   &fixedPolicy{watch: 1, target: 2, count: 1},
+		Entropy:  prng.NewSeededEntropy(8),
+		DummySrc: prng.NewSource(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 2; id++ {
+		if err := p.CreateThin(id, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	thin, err := p.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.FailWritesAfter(0) // the very first write — the dummy noise — fails
+	src := bytes.Repeat([]byte{0xAB}, blockSize)
+	if err := thin.WriteBlock(5, src); err == nil {
+		t.Fatal("write with failing dummy noise succeeded")
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("pool inconsistent after unwound provision: %v", err)
+	}
+	if got := p.AllocatedBlocks(); got != 0 {
+		t.Fatalf("allocated = %d after unwind, want 0", got)
+	}
+	fd.Disarm()
+	got := make([]byte, blockSize)
+	if err := thin.ReadBlock(5, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("unwound vblock byte %d = %#x, want 0 (hole)", i, b)
+		}
+	}
+}
+
+func TestDeleteThinClearsPendingAllocations(t *testing.T) {
+	p, _, _ := newTestPool(t, 256, Options{})
+	if err := p.CreateThin(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	thin, err := p.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := thin.WriteBlocks(0, make([]byte, 8*blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PendingAllocations(); got != 8 {
+		t.Fatalf("pending = %d, want 8", got)
+	}
+	if err := p.DeleteThin(1); err != nil {
+		t.Fatal(err)
+	}
+	// The freed blocks must leave the transaction record like discard
+	// does; otherwise PendingAllocations over-counts and a rollback would
+	// re-mark freed blocks allocated.
+	if got := p.PendingAllocations(); got != 0 {
+		t.Fatalf("pending after DeleteThin = %d, want 0", got)
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,7 +15,7 @@ type Thin struct {
 	id   int
 }
 
-var _ storage.Device = (*Thin)(nil)
+var _ storage.RangeDevice = (*Thin)(nil)
 
 // ID returns the thin device id.
 func (t *Thin) ID() int { return t.id }
@@ -98,6 +98,180 @@ func (t *Thin) WriteBlock(idx uint64, src []byte) error {
 		meter.ChargeTraversalWrite()
 	}
 	return t.pool.data.WriteBlock(pb, src)
+}
+
+// extent is one physically-resolved run of a virtual range: count
+// consecutive virtual blocks that are either all holes or mapped to
+// physically consecutive data blocks, so the run can be served by a single
+// data-device call.
+type extent struct {
+	phys  uint64
+	count int
+	hole  bool
+}
+
+// appendRun extends the last extent when vblock resolution continues the
+// current physical run, and starts a new extent otherwise. Callers seed it
+// with a small stack-backed slice so typical requests resolve without a
+// heap allocation; larger run counts spill via append.
+func appendRun(exts []extent, phys uint64, hole bool) []extent {
+	if n := len(exts); n > 0 {
+		last := &exts[n-1]
+		if hole && last.hole {
+			last.count++
+			return exts
+		}
+		if !hole && !last.hole && phys == last.phys+uint64(last.count) {
+			last.count++
+			return exts
+		}
+	}
+	return append(exts, extent{phys: phys, count: 1, hole: hole})
+}
+
+// checkRangeLocked validates a range request against the thin geometry and
+// returns its metadata record. Caller holds the pool lock.
+func (t *Thin) checkRangeLocked(start uint64, buf []byte) (*thinMeta, uint64, error) {
+	tm, ok := t.pool.thins[t.id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
+	}
+	bs := t.pool.data.BlockSize()
+	if len(buf)%bs != 0 {
+		return nil, 0, storage.ErrBadBuffer
+	}
+	n := uint64(len(buf) / bs)
+	if n > 0 && (start >= tm.virtBlocks || n > tm.virtBlocks-start) {
+		return nil, 0, fmt.Errorf("%w: vblocks [%d, %d) of %d",
+			storage.ErrOutOfRange, start, start+n, tm.virtBlocks)
+	}
+	return tm, n, nil
+}
+
+// ReadBlocks implements storage.RangeDevice. The pool lock is taken once
+// for the whole request to resolve the virtual range into extent runs;
+// physically contiguous runs then become single data-device reads and holes
+// become zero fills, all outside the lock.
+func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
+	var extArr [16]extent
+	t.pool.mu.Lock()
+	tm, n, err := t.checkRangeLocked(start, dst)
+	if err != nil {
+		t.pool.mu.Unlock()
+		return err
+	}
+	exts := extArr[:0]
+	for i := uint64(0); i < n; i++ {
+		pb, mapped := tm.mapping[start+i]
+		exts = appendRun(exts, pb, !mapped)
+	}
+	meter := t.pool.opts.Meter
+	t.pool.mu.Unlock()
+
+	if meter != nil {
+		for i := uint64(0); i < n; i++ {
+			meter.ChargeTraversalRead()
+		}
+	}
+	bs := t.pool.data.BlockSize()
+	off := 0
+	for _, e := range exts {
+		span := e.count * bs
+		buf := dst[off : off+span]
+		switch {
+		case e.hole:
+			for i := range buf {
+				buf[i] = 0
+			}
+		case e.count == 1:
+			if err := t.pool.data.ReadBlock(e.phys, buf); err != nil {
+				return err
+			}
+		default:
+			if err := storage.ReadBlocks(t.pool.data, e.phys, buf); err != nil {
+				return err
+			}
+		}
+		off += span
+	}
+	return nil
+}
+
+// WriteBlocks implements storage.RangeDevice. Unmapped blocks in the range
+// are provisioned in one batch under a single pool-lock acquisition — the
+// dummy-write policy is still consulted per provisioned block, preserving
+// the paper's Sec. IV-B trigger semantics — then the resolved extent runs
+// are written with coalesced data-device calls.
+func (t *Thin) WriteBlocks(start uint64, src []byte) error {
+	var extArr [16]extent
+	t.pool.mu.Lock()
+	tm, n, err := t.checkRangeLocked(start, src)
+	if err != nil {
+		t.pool.mu.Unlock()
+		return err
+	}
+	exts := extArr[:0]
+	var fresh []uint64 // vblocks provisioned by this request
+	for i := uint64(0); i < n; i++ {
+		pb, mapped := tm.mapping[start+i]
+		if !mapped {
+			pb, err = t.pool.provisionLocked(tm, start+i)
+			if err != nil {
+				// Unwind this request's provisions: leaving them mapped
+				// without ever writing their data would make the failed
+				// vblocks read back device garbage instead of zeros.
+				// (Dummy writes already performed stay — they are real,
+				// durable noise.)
+				for _, vb := range fresh {
+					_ = t.pool.discardLocked(tm, vb)
+				}
+				t.pool.mu.Unlock()
+				return err
+			}
+			fresh = append(fresh, start+i)
+		}
+		exts = appendRun(exts, pb, false)
+	}
+	meter := t.pool.opts.Meter
+	t.pool.mu.Unlock()
+
+	if meter != nil {
+		for i := uint64(0); i < n; i++ {
+			meter.ChargeTraversalWrite()
+		}
+	}
+	bs := t.pool.data.BlockSize()
+	off := 0
+	done := uint64(0) // blocks whose data reached the device
+	for _, e := range exts {
+		span := e.count * bs
+		var werr error
+		if e.count == 1 {
+			werr = t.pool.data.WriteBlock(e.phys, src[off:off+span])
+		} else {
+			werr = storage.WriteBlocks(t.pool.data, e.phys, src[off:off+span])
+		}
+		if werr != nil {
+			// Discard this request's provisions whose data never landed:
+			// left mapped, they would read back stale physical content
+			// instead of zeros. (If a concurrent overlapping write raced
+			// this failed one, its blocks land in the undefined-content
+			// regime overlapping writes already are.)
+			t.pool.mu.Lock()
+			if tm, ok := t.pool.thins[t.id]; ok {
+				for _, vb := range fresh {
+					if vb >= start+done {
+						_ = t.pool.discardLocked(tm, vb)
+					}
+				}
+			}
+			t.pool.mu.Unlock()
+			return werr
+		}
+		done += uint64(e.count)
+		off += span
+	}
+	return nil
 }
 
 // Discard unmaps virtual block idx, freeing its physical block (the TRIM

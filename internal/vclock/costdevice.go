@@ -10,7 +10,7 @@ type CostDevice struct {
 	meter *Meter
 }
 
-var _ storage.Device = (*CostDevice)(nil)
+var _ storage.RangeDevice = (*CostDevice)(nil)
 
 // NewCostDevice wraps inner so that all traffic is charged to meter.
 func NewCostDevice(inner storage.Device, meter *Meter) *CostDevice {
@@ -41,6 +41,33 @@ func (d *CostDevice) WriteBlock(idx uint64, src []byte) error {
 		return err
 	}
 	d.meter.ChargeWrite(idx, len(src))
+	return nil
+}
+
+// ReadBlocks implements storage.RangeDevice. Each block of the range is
+// charged individually at consecutive indexes, so the meter prices the
+// request as one seek plus a streaming run — the cost a merged bio pays.
+func (d *CostDevice) ReadBlocks(start uint64, dst []byte) error {
+	if err := storage.ReadBlocks(d.inner, start, dst); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	for i := 0; i*bs < len(dst); i++ {
+		d.meter.ChargeRead(start+uint64(i), bs)
+	}
+	return nil
+}
+
+// WriteBlocks implements storage.RangeDevice with the same per-block
+// charging as ReadBlocks.
+func (d *CostDevice) WriteBlocks(start uint64, src []byte) error {
+	if err := storage.WriteBlocks(d.inner, start, src); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	for i := 0; i*bs < len(src); i++ {
+		d.meter.ChargeWrite(start+uint64(i), bs)
+	}
 	return nil
 }
 

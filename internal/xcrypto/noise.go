@@ -40,3 +40,44 @@ func FillNoise(ent prng.Entropy, dst []byte) error {
 	}
 	return nil
 }
+
+// NoiseStream produces discarded-key noise for one dummy-write burst: a
+// single throwaway AES-CTR keystream covers every block of the burst
+// instead of paying a fresh key generation + AES key schedule per 4 KB
+// block. The key is zeroed as soon as the cipher is constructed and the
+// stream must be dropped when the burst ends, so the Sec. IV-A
+// indistinguishability argument is unchanged — the burst's content is
+// still the output of the encryption algorithm under a random key that no
+// longer exists afterwards.
+type NoiseStream struct {
+	stream cipher.Stream
+}
+
+// NewNoiseStream draws a throwaway key and IV from ent and returns the
+// burst stream.
+func NewNoiseStream(ent prng.Entropy) (*NoiseStream, error) {
+	var key [32]byte
+	if _, err := io.ReadFull(ent, key[:]); err != nil {
+		return nil, fmt.Errorf("xcrypto: generating throwaway noise key: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	if _, err := io.ReadFull(ent, iv[:]); err != nil {
+		return nil, fmt.Errorf("xcrypto: generating throwaway noise IV: %w", err)
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("xcrypto: throwaway noise cipher: %w", err)
+	}
+	for i := range key {
+		key[i] = 0
+	}
+	return &NoiseStream{stream: cipher.NewCTR(block, iv[:])}, nil
+}
+
+// Fill overwrites dst with the next dst-length chunk of the keystream.
+func (n *NoiseStream) Fill(dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	n.stream.XORKeyStream(dst, dst)
+}

@@ -180,22 +180,24 @@ func TestXTSRejectsBadSizes(t *testing.T) {
 
 func TestGFMulAlphaCarry(t *testing.T) {
 	// Multiplying a tweak with the top bit set must apply the reduction.
-	var tk [16]byte
-	tk[15] = 0x80
-	gfMulAlpha(&tk)
-	if tk[0] != 0x87 {
-		t.Fatalf("reduction byte = %#x, want 0x87", tk[0])
+	// Byte 15 bit 7 is the msb of the high word in the little-endian
+	// convention.
+	t0, t1 := gfMulAlpha(0, 0x8000000000000000)
+	if t0 != 0x87 {
+		t.Fatalf("reduction word = %#x, want 0x87", t0)
 	}
-	for i := 1; i < 16; i++ {
-		if tk[i] != 0 {
-			t.Fatalf("byte %d = %#x, want 0", i, tk[i])
-		}
+	if t1 != 0 {
+		t.Fatalf("high word = %#x, want 0", t1)
 	}
-	// Without the top bit it is a plain shift.
-	tk = [16]byte{0x01}
-	gfMulAlpha(&tk)
-	if tk[0] != 0x02 {
-		t.Fatalf("shift result = %#x, want 0x02", tk[0])
+	// Without the top bit it is a plain shift, carrying the low word's msb
+	// into the high word.
+	t0, t1 = gfMulAlpha(0x01, 0)
+	if t0 != 0x02 || t1 != 0 {
+		t.Fatalf("shift result = %#x,%#x, want 0x02,0", t0, t1)
+	}
+	t0, t1 = gfMulAlpha(0x8000000000000000, 0)
+	if t0 != 0 || t1 != 1 {
+		t.Fatalf("cross-word carry = %#x,%#x, want 0,1", t0, t1)
 	}
 }
 
