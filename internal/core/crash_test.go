@@ -1,0 +1,313 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mobiceal/internal/minifs"
+	"mobiceal/internal/storage"
+)
+
+// readHidden opens the hidden volume and reads nBlocks plaintext blocks
+// starting at block start of its file-system view.
+func readHidden(t *testing.T, sys *System, password string, start, nBlocks uint64) []byte {
+	t.Helper()
+	vol, err := sys.OpenHidden(password)
+	if err != nil {
+		t.Fatalf("OpenHidden: %v", err)
+	}
+	out := make([]byte, nBlocks*uint64(vol.Device().BlockSize()))
+	if err := storage.ReadBlocks(vol.Device(), start, out); err != nil {
+		t.Fatalf("reading hidden volume: %v", err)
+	}
+	return out
+}
+
+// TestCrashEnumerationHiddenInvariants runs the full system over a crash
+// device, writes hidden-volume data across two commits, and re-opens the
+// device from the stable state after every persisted write — plus a
+// torn-block variant of each — asserting the paper-level deniability
+// invariant at every point: the device opens, the pool is at exactly a
+// committed transaction, and the hidden data is either fully intact or
+// indistinguishably absent (reads as unprovisioned zeros), never partially
+// exposed.
+func TestCrashEnumerationHiddenInvariants(t *testing.T) {
+	const hpw = "hidden-pass"
+	crash := storage.NewCrashDevice(storage.NewMemDevice(blockSize, 4096))
+	cfg := testConfig(71)
+	sys, err := Setup(crash, cfg, "decoy-pass", []string{hpw})
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if err := crash.StartRecording(); err != nil {
+		t.Fatal(err)
+	}
+	preTx := sys.Pool().TransactionID()
+
+	// "Indistinguishably absent" is what an unprovisioned region reads as
+	// through the volume cipher — the deterministic decryption of zeros,
+	// not plaintext zeros. Capture it before writing anything.
+	absent1 := readHidden(t, sys, hpw, 0, 4)
+	absent2 := readHidden(t, sys, hpw, 64, 4)
+
+	// Commit 1: four blocks of hidden payload at block 0 of the volume view.
+	payload1 := bytes.Repeat([]byte{0xA1}, 4*blockSize)
+	vol, err := sys.OpenHidden(hpw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteBlocks(vol.Device(), 0, payload1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	midTx := sys.Pool().TransactionID()
+
+	// Commit 2: four more blocks further into the volume.
+	payload2 := bytes.Repeat([]byte{0xB2}, 4*blockSize)
+	if err := storage.WriteBlocks(vol.Device(), 64, payload2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	postTx := sys.Pool().TransactionID()
+
+	check := func(label string, img storage.Device) bool {
+		re, err := Open(img, cfg)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", label, err)
+		}
+		if err := re.Pool().CheckIntegrity(); err != nil {
+			t.Fatalf("%s: pool integrity: %v", label, err)
+		}
+		tx := re.Pool().TransactionID()
+		var want1, want2 []byte
+		switch tx {
+		case preTx:
+			want1, want2 = absent1, absent2
+		case midTx:
+			want1, want2 = payload1, absent2
+		case postTx:
+			want1, want2 = payload1, payload2
+		default:
+			t.Fatalf("%s: recovered tx %d is not one of the committed %d/%d/%d",
+				label, tx, preTx, midTx, postTx)
+		}
+		// The hidden volume must still open — the verifier block survives
+		// every crash point — and expose exactly the committed content.
+		if got := readHidden(t, re, hpw, 0, 4); !bytes.Equal(got, want1) {
+			t.Fatalf("%s: hidden region 1 at tx %d is neither intact nor absent", label, tx)
+		}
+		if got := readHidden(t, re, hpw, 64, 4); !bytes.Equal(got, want2) {
+			t.Fatalf("%s: hidden region 2 at tx %d is neither intact nor absent", label, tx)
+		}
+		return re.Recovery().RolledBack
+	}
+
+	total := crash.PersistedWrites()
+	if total < 10 {
+		t.Fatalf("only %d persisted writes recorded; workload too small", total)
+	}
+	rollbacks := 0
+	for n := 0; n <= total; n++ {
+		img, err := crash.CrashImage(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if check(fmt.Sprintf("cut@%d", n), img) {
+			rollbacks++
+		}
+		if n == total {
+			continue
+		}
+		torn, err := crash.CrashImageTorn(n, blockSize/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if check(fmt.Sprintf("torn@%d", n), torn) {
+			rollbacks++
+		}
+	}
+	// Crash points that interrupt a commit mid-image leave a slot that
+	// fails validation; recovery must have reported rolling it back at
+	// least somewhere in the sweep.
+	if rollbacks == 0 {
+		t.Fatal("no crash point exercised the rollback path")
+	}
+
+	// A wrong password still opens nothing after recovery, at an arbitrary
+	// mid-commit crash point.
+	img, err := crash.CrashImage(total / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.OpenHidden("not-the-password"); err != ErrBadPassword {
+		t.Fatalf("wrong password after recovery err = %v, want ErrBadPassword", err)
+	}
+}
+
+// TestCrashEnumerationHiddenFS is the full-stack variant: a journaled
+// minifs on an encrypted hidden volume on the A/B thin pool, all on one
+// crash device. A file is created and synced; crashing at every persisted
+// device write (and a torn variant of each), the stack must reopen end to
+// end and show the file either fully present or cleanly absent.
+func TestCrashEnumerationHiddenFS(t *testing.T) {
+	const hpw = "hidden-pass"
+	crash := storage.NewCrashDevice(storage.NewMemDevice(blockSize, 4096))
+	cfg := testConfig(73)
+	sys, err := Setup(crash, cfg, "decoy-pass", []string{hpw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := sys.OpenHidden(hpw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := minifs.Format(vol.Device(), 16)
+	if err != nil {
+		t.Fatalf("formatting hidden volume: %v", err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.StartRecording(); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := bytes.Repeat([]byte{0xD7}, 2*blockSize+100)
+	f, err := fs.Create("secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string, img storage.Device) {
+		re, err := Open(img, cfg)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", label, err)
+		}
+		if err := re.Pool().CheckIntegrity(); err != nil {
+			t.Fatalf("%s: pool integrity: %v", label, err)
+		}
+		reVol, err := re.OpenHidden(hpw)
+		if err != nil {
+			t.Fatalf("%s: OpenHidden: %v", label, err)
+		}
+		reFS, err := minifs.Mount(reVol.Device())
+		if err != nil {
+			t.Fatalf("%s: mounting hidden FS: %v", label, err)
+		}
+		if err := reFS.CheckIntegrity(); err != nil {
+			t.Fatalf("%s: FS integrity: %v", label, err)
+		}
+		switch names := reFS.List(); len(names) {
+		case 0:
+			// Cleanly absent — the pre-Sync state.
+		case 1:
+			if names[0] != "secret" {
+				t.Fatalf("%s: unexpected file %q", label, names[0])
+			}
+			rf, err := reFS.Open("secret")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, rf.Size())
+			if _, err := rf.ReadAt(got, 0); err != nil {
+				t.Fatalf("%s: reading recovered file: %v", label, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("%s: recovered file content is partial", label)
+			}
+		default:
+			t.Fatalf("%s: files = %v", label, names)
+		}
+	}
+
+	total := crash.PersistedWrites()
+	if total < 10 {
+		t.Fatalf("only %d persisted writes; workload too small", total)
+	}
+	for n := 0; n <= total; n++ {
+		img, err := crash.CrashImage(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("cut@%d", n), img)
+		if n == total {
+			continue
+		}
+		torn, err := crash.CrashImageTorn(n, blockSize/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("torn@%d", n), torn)
+	}
+}
+
+// TestOpenReportsRecovery checks the mount-time recovery record surfaces
+// through core.System.
+func TestOpenReportsRecovery(t *testing.T) {
+	crash := storage.NewCrashDevice(storage.NewMemDevice(blockSize, 4096))
+	cfg := testConfig(72)
+	sys, err := Setup(crash, cfg, "decoy-pass", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.StartRecording(); err != nil {
+		t.Fatal(err)
+	}
+	vol, err := sys.OpenPublic("decoy-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteBlocks(vol.Device(), 0, make([]byte, 8*blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	preTx := sys.Pool().TransactionID()
+	if err := sys.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash one write into the commit's metadata stream: recovery must
+	// roll back to the pre-commit transaction and say so.
+	img, err := crash.CrashImage(crash.PersistedWrites() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := re.Recovery()
+	if re.Pool().TransactionID() != preTx {
+		t.Fatalf("tx = %d, want rollback to %d", re.Pool().TransactionID(), preTx)
+	}
+	if !rec.RolledBack || rec.TxID != preTx {
+		t.Fatalf("recovery = %+v, want RolledBack at tx %d", rec, preTx)
+	}
+
+	// A clean image reports no rollback.
+	clean, err := crash.CrashImage(crash.PersistedWrites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(clean, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := re2.Recovery(); rec.RolledBack {
+		t.Fatalf("clean open reported rollback: %+v", rec)
+	}
+}

@@ -261,7 +261,10 @@ func hiddenIndexCollision(f *xcrypto.Footer, hiddenPasswords []string, decoyPass
 	return false
 }
 
-// Open loads an existing MobiCeal device.
+// Open loads an existing MobiCeal device. Opening performs mount-time
+// crash recovery: the thin pool's A/B metadata is validated and the newest
+// durable transaction selected, so a device that lost power mid-commit
+// opens to exactly its pre- or post-commit state (Recovery reports which).
 func Open(dev storage.Device, cfg Config) (*System, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -359,6 +362,12 @@ func (s *System) DataBlocks() uint64 { return s.dataBlocks }
 
 // Commit persists pool metadata.
 func (s *System) Commit() error { return s.pool.Commit() }
+
+// Recovery reports the mount-time A/B slot selection the pool performed
+// when this System was opened — which metadata slot won, at which
+// transaction, and whether an interrupted commit was rolled back. The boot
+// flow logs it; tests assert on it.
+func (s *System) Recovery() thinp.Recovery { return s.pool.Recovery() }
 
 // cipherFor builds the XTS sector cipher for a derived key, using the
 // Android dm-crypt default parameters (aes-xts-plain64, 256-bit key).

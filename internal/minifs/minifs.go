@@ -6,9 +6,20 @@
 // spatial locality typical of extent-based file systems (footnote 3 of the
 // paper), and is used by the dd- and Bonnie-style workloads.
 //
-// Layout: superblock | block bitmap | inode table | data blocks. The root
-// directory is inode 1 and holds a flat namespace, which is all the
-// workloads need.
+// Layout: superblock | journal descriptor | journal data | block bitmap |
+// inode table | data blocks. The root directory is inode 1 and holds a flat
+// namespace, which is all the workloads need.
+//
+// Like its kernel counterpart in data=ordered mode, minifs commits its
+// metadata transactionally: Sync shadow-pages dirty pointer blocks and the
+// root directory into fresh blocks, stages the changed bitmap and inode
+// blocks in the journal region, seals the transaction with a checksummed
+// descriptor, and only then writes them in place (see persist.go). Mount
+// replays a sealed journal, so a power cut at any point leaves the file
+// system at exactly the previous or the new Sync — file data follows
+// ordered-mode semantics (fresh file content is durable before the
+// metadata that references it; in-place overwrites of existing file bytes
+// are not atomic, as on ext4).
 package minifs
 
 import (
@@ -39,7 +50,7 @@ var (
 )
 
 const (
-	magic        = 0x6d696e69_66730001
+	magic        = 0x6d696e69_66730002
 	inodeSize    = 128
 	numDirect    = 10
 	rootIno      = 1
@@ -54,6 +65,10 @@ type superblock struct {
 	blockSize    int
 	totalBlocks  uint64
 	inodeCount   uint32
+	jdescStart   uint64
+	jdescBlocks  uint64
+	jdataStart   uint64
+	jdataBlocks  uint64
 	bitmapStart  uint64
 	bitmapBlocks uint64
 	inodeStart   uint64
@@ -84,13 +99,68 @@ type FS struct {
 	// Pointer (indirect) blocks are cached dirty in memory and flushed on
 	// Sync, like a kernel FS buffer cache. Without this, every data-block
 	// allocation would interleave a pointer-block write and destroy the
-	// spatial locality the workloads depend on.
+	// spatial locality the workloads depend on. freshPtr marks pointer
+	// blocks allocated since the last Sync: no committed metadata
+	// references them, so Sync can write them in place, while a dirty
+	// pointer block of committed metadata must be shadow-paged to a fresh
+	// location first (persist.go).
 	ptrCache map[uint64][]uint64
 	ptrDirty map[uint64]bool
+	freshPtr map[uint64]bool
+
+	// Journal state (persist.go). gen is the journal transaction
+	// generation. lastBitmap and lastInodes hold the marshaled metadata
+	// regions as of the previous Sync, so only changed blocks are
+	// journaled. pendingFree holds blocks freed since the last committed
+	// Sync: they stay unallocatable until the commit lands, because the
+	// last durable metadata generation may still reference them and a
+	// crash must find their contents intact.
+	gen         uint64
+	lastBitmap  []byte
+	lastInodes  []byte
+	pendingFree map[uint64]bool
+	// dirDirty marks the root directory as changed since the last Sync,
+	// so idle Syncs skip the directory rewrite and take the cheap
+	// data-only flush path. replayPending marks a sealed journal whose
+	// in-place application failed midway: the journal region must not be
+	// reused until that transaction is re-applied, or a crash could
+	// strand the half-applied state with no valid journal to repair it.
+	dirDirty      bool
+	replayPending bool
+}
+
+// layoutFor computes the region split for inodeCount inodes on a device of
+// total blocks. Only the bitmap and inode regions are ever journaled
+// (pointer blocks and the root directory are shadow-paged into fresh
+// blocks), so the journal data region sized to hold both in full makes a
+// Sync's worst-case transaction fit in one journal pass by construction.
+func layoutFor(total uint64, bs int, inodeCount uint32) superblock {
+	inodeBlocks := (uint64(inodeCount)*inodeSize + uint64(bs) - 1) / uint64(bs)
+	// One bitmap bit per block; sized over the whole device for simplicity.
+	bitmapBlocks := (total/8 + uint64(bs) - 1) / uint64(bs)
+	jdataBlocks := bitmapBlocks + inodeBlocks
+	jdescBlocks := (jdescHeaderLen + 8*jdataBlocks + uint64(bs) - 1) / uint64(bs)
+	sb := superblock{
+		blockSize:   bs,
+		totalBlocks: total,
+		inodeCount:  inodeCount,
+		jdescStart:  1,
+		jdescBlocks: jdescBlocks,
+	}
+	sb.jdataStart = sb.jdescStart + jdescBlocks
+	sb.jdataBlocks = jdataBlocks
+	sb.bitmapStart = sb.jdataStart + jdataBlocks
+	sb.bitmapBlocks = bitmapBlocks
+	sb.inodeStart = sb.bitmapStart + bitmapBlocks
+	sb.inodeBlocks = inodeBlocks
+	sb.dataStart = sb.inodeStart + inodeBlocks
+	return sb
 }
 
 // Format writes a fresh empty file system with capacity for inodeCount
-// files onto dev and returns it mounted.
+// files onto dev and returns it mounted. inodeCount is a cap: on devices
+// too small to carry the inode table and its journal alongside useful data
+// space, it is scaled down until the layout fits.
 func Format(dev storage.Device, inodeCount uint32) (*FS, error) {
 	bs := dev.BlockSize()
 	if bs < minBlockSize {
@@ -100,32 +170,30 @@ func Format(dev storage.Device, inodeCount uint32) (*FS, error) {
 		inodeCount = 2
 	}
 	total := dev.NumBlocks()
-	inodeBlocks := (uint64(inodeCount)*inodeSize + uint64(bs) - 1) / uint64(bs)
-	// One bitmap bit per block; sized over the whole device for simplicity.
-	bitmapBlocks := (total/8 + uint64(bs) - 1) / uint64(bs)
-	dataStart := 1 + bitmapBlocks + inodeBlocks
-	if dataStart+8 > total {
+	sb := layoutFor(total, bs, inodeCount)
+	for sb.dataStart+8 > total && inodeCount > 2 {
+		inodeCount /= 2
+		sb = layoutFor(total, bs, inodeCount)
+	}
+	if sb.dataStart+8 > total {
 		return nil, fmt.Errorf("minifs: device too small (%d blocks)", total)
 	}
 	fs := &FS{
-		dev: dev,
-		sb: superblock{
-			blockSize:    bs,
-			totalBlocks:  total,
-			inodeCount:   inodeCount,
-			bitmapStart:  1,
-			bitmapBlocks: bitmapBlocks,
-			inodeStart:   1 + bitmapBlocks,
-			inodeBlocks:  inodeBlocks,
-			dataStart:    dataStart,
-		},
-		bitmap:   make([]bool, total-dataStart),
-		inodes:   make([]inode, inodeCount),
-		dir:      make(map[string]uint32),
-		ptrCache: make(map[uint64][]uint64),
-		ptrDirty: make(map[uint64]bool),
+		dev:         dev,
+		sb:          sb,
+		bitmap:      make([]bool, total-sb.dataStart),
+		inodes:      make([]inode, inodeCount),
+		dir:         make(map[string]uint32),
+		ptrCache:    make(map[uint64][]uint64),
+		ptrDirty:    make(map[uint64]bool),
+		freshPtr:    make(map[uint64]bool),
+		pendingFree: make(map[uint64]bool),
 	}
 	fs.inodes[rootIno].mode = modeDir
+	fs.dirDirty = true
+	if err := fs.writeSuper(); err != nil {
+		return nil, fmt.Errorf("minifs: writing superblock: %w", err)
+	}
 	if err := fs.Sync(); err != nil {
 		return nil, fmt.Errorf("minifs: writing fresh metadata: %w", err)
 	}
@@ -191,6 +259,7 @@ func (fs *FS) Create(name string) (*File, error) {
 	}
 	fs.inodes[ino] = inode{mode: modeFile}
 	fs.dir[name] = ino
+	fs.dirDirty = true
 	return &File{fs: fs, ino: ino, name: name}, nil
 }
 
@@ -218,6 +287,7 @@ func (fs *FS) Remove(name string) error {
 	}
 	fs.inodes[ino] = inode{}
 	delete(fs.dir, name)
+	fs.dirDirty = true
 	return nil
 }
 
@@ -314,7 +384,11 @@ func (fs *FS) CheckIntegrity() error {
 }
 
 // allocBlock returns a free data block (absolute index), first-fit from the
-// roving cursor — sequential-ish placement like an extent allocator.
+// roving cursor — sequential-ish placement like an extent allocator. Blocks
+// freed since the last committed Sync are skipped: the last durable
+// metadata generation may still reference them, and reusing one before the
+// next commit would let a crash expose a half-overwritten block through
+// committed pointers.
 func (fs *FS) allocBlock() (uint64, error) {
 	n := uint64(len(fs.bitmap))
 	if n == 0 {
@@ -322,7 +396,7 @@ func (fs *FS) allocBlock() (uint64, error) {
 	}
 	for off := uint64(0); off < n; off++ {
 		i := (fs.cursor + off) % n
-		if !fs.bitmap[i] {
+		if !fs.bitmap[i] && !fs.pendingFree[fs.sb.dataStart+i] {
 			fs.bitmap[i] = true
 			fs.cursor = i + 1
 			return fs.sb.dataStart + i, nil
@@ -334,9 +408,26 @@ func (fs *FS) allocBlock() (uint64, error) {
 func (fs *FS) freeBlock(abs uint64) {
 	if abs >= fs.sb.dataStart && abs < fs.sb.totalBlocks {
 		fs.bitmap[abs-fs.sb.dataStart] = false
+		fs.pendingFree[abs] = true
 	}
 	delete(fs.ptrCache, abs)
 	delete(fs.ptrDirty, abs)
+	delete(fs.freshPtr, abs)
+}
+
+// allocPtrBlock allocates a block for pointer metadata, installs content in
+// the buffer cache and marks it fresh: it is unreferenced by any committed
+// metadata, so Sync may write it in place.
+func (fs *FS) allocPtrBlock(ptrs []uint64) (uint64, error) {
+	abs, err := fs.allocBlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.writePtrBlock(abs, ptrs); err != nil {
+		return 0, err
+	}
+	fs.freshPtr[abs] = true
+	return abs, nil
 }
 
 // ptrsPerBlock returns how many 8-byte block pointers one block holds.
@@ -374,8 +465,10 @@ func (fs *FS) writePtrBlock(abs uint64, ptrs []uint64) error {
 	return nil
 }
 
-// flushPtrBlocks writes all dirty pointer blocks to the device. Caller
-// holds fs.mu.
+// flushPtrBlocks writes all dirty pointer blocks to the device. The caller
+// (Sync) has already shadow-paged every dirty pointer block of committed
+// metadata to a fresh location, so these writes never overwrite a block the
+// last durable transaction still references. Caller holds fs.mu.
 func (fs *FS) flushPtrBlocks() error {
 	buf := make([]byte, fs.sb.blockSize)
 	for abs := range fs.ptrDirty {
@@ -423,11 +516,8 @@ func (fs *FS) blockFor(ind *inode, fileBlock uint64, alloc bool) (uint64, bool, 
 			if !alloc {
 				return 0, false, nil
 			}
-			abs, err := fs.allocBlock()
+			abs, err := fs.allocPtrBlock(make([]uint64, p))
 			if err != nil {
-				return 0, false, err
-			}
-			if err := fs.writePtrBlock(abs, make([]uint64, p)); err != nil {
 				return 0, false, err
 			}
 			ind.indirect = abs
@@ -456,11 +546,8 @@ func (fs *FS) blockFor(ind *inode, fileBlock uint64, alloc bool) (uint64, bool, 
 			if !alloc {
 				return 0, false, nil
 			}
-			abs, err := fs.allocBlock()
+			abs, err := fs.allocPtrBlock(make([]uint64, p))
 			if err != nil {
-				return 0, false, err
-			}
-			if err := fs.writePtrBlock(abs, make([]uint64, p)); err != nil {
 				return 0, false, err
 			}
 			ind.dindirect = abs
@@ -473,11 +560,8 @@ func (fs *FS) blockFor(ind *inode, fileBlock uint64, alloc bool) (uint64, bool, 
 			if !alloc {
 				return 0, false, nil
 			}
-			abs, err := fs.allocBlock()
+			abs, err := fs.allocPtrBlock(make([]uint64, p))
 			if err != nil {
-				return 0, false, err
-			}
-			if err := fs.writePtrBlock(abs, make([]uint64, p)); err != nil {
 				return 0, false, err
 			}
 			outer[outerSlot] = abs

@@ -9,6 +9,25 @@ import (
 // ErrInjected is the base error returned by FaultDevice failures.
 var ErrInjected = errors.New("storage: injected fault")
 
+// PartialError reports a range operation that an injected fault interrupted
+// after a prefix of the range had already transferred — the partial
+// completion a real controller reports when it dies mid-request. It wraps
+// the underlying fault, so errors.Is(err, ErrInjected) still holds.
+type PartialError struct {
+	// Done counts the blocks transferred before the fault struck.
+	Done int
+	// Err is the underlying injected fault.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("%v (after %d blocks completed)", e.Err, e.Done)
+}
+
+// Unwrap implements errors.Unwrap.
+func (e *PartialError) Unwrap() error { return e.Err }
+
 // FaultDevice wraps a Device and fails operations on demand, for testing
 // error propagation through the storage stack (a flash controller going bad
 // mid-write is a survivable event the upper layers must report cleanly, not
@@ -105,38 +124,56 @@ func (d *FaultDevice) WriteBlock(idx uint64, src []byte) error {
 }
 
 // ReadBlocks implements RangeDevice. A vectored request consumes one unit
-// of the armed budget per block; a range that would exhaust the budget
-// mid-transfer fails whole, like a merged bio erroring out.
+// of the armed budget per block, and the failure is block-granular: a range
+// that exhausts the budget mid-transfer completes exactly the blocks the
+// budget covered and fails with a PartialError carrying that count, the way
+// a controller dying mid-request leaves a prefix transferred.
 func (d *FaultDevice) ReadBlocks(start uint64, dst []byte) error {
-	n := len(dst) / d.inner.BlockSize()
+	bs := d.inner.BlockSize()
+	n := len(dst) / bs
 	d.mu.Lock()
-	if d.readArmed {
-		if d.readsLeft < n {
-			// The failure consumes the rest of the budget: once the device
-			// has failed, all later reads fail too, as documented.
-			d.readsLeft = 0
-			d.failedReads++
-			d.mu.Unlock()
-			return fmt.Errorf("%w: read of %d blocks at %d", ErrInjected, n, start)
+	if d.readArmed && d.readsLeft < n {
+		// The failure consumes the rest of the budget: once the device has
+		// failed, all later reads fail too, as documented.
+		done := d.readsLeft
+		d.readsLeft = 0
+		d.failedReads++
+		d.mu.Unlock()
+		if done > 0 {
+			if err := ReadBlocks(d.inner, start, dst[:done*bs]); err != nil {
+				return err
+			}
 		}
+		return &PartialError{Done: done, Err: fmt.Errorf(
+			"%w: read of %d blocks at %d", ErrInjected, n, start)}
+	}
+	if d.readArmed {
 		d.readsLeft -= n
 	}
 	d.mu.Unlock()
 	return ReadBlocks(d.inner, start, dst)
 }
 
-// WriteBlocks implements RangeDevice with the same budget rule as
-// ReadBlocks.
+// WriteBlocks implements RangeDevice with the same block-granular budget
+// rule as ReadBlocks.
 func (d *FaultDevice) WriteBlocks(start uint64, src []byte) error {
-	n := len(src) / d.inner.BlockSize()
+	bs := d.inner.BlockSize()
+	n := len(src) / bs
 	d.mu.Lock()
-	if d.writeArmed {
-		if d.writesLeft < n {
-			d.writesLeft = 0
-			d.failedWrite++
-			d.mu.Unlock()
-			return fmt.Errorf("%w: write of %d blocks at %d", ErrInjected, n, start)
+	if d.writeArmed && d.writesLeft < n {
+		done := d.writesLeft
+		d.writesLeft = 0
+		d.failedWrite++
+		d.mu.Unlock()
+		if done > 0 {
+			if err := WriteBlocks(d.inner, start, src[:done*bs]); err != nil {
+				return err
+			}
 		}
+		return &PartialError{Done: done, Err: fmt.Errorf(
+			"%w: write of %d blocks at %d", ErrInjected, n, start)}
+	}
+	if d.writeArmed {
 		d.writesLeft -= n
 	}
 	d.mu.Unlock()

@@ -58,6 +58,74 @@ func TestFaultDeviceReadFaultsAndDisarm(t *testing.T) {
 	}
 }
 
+func TestFaultDeviceRangePartialCompletion(t *testing.T) {
+	mem := NewMemDevice(testBlockSize, 16)
+	d := NewFaultDevice(mem)
+	d.FailWritesAfter(3)
+	src := make([]byte, 8*testBlockSize)
+	for i := 0; i < 8; i++ {
+		fillPattern(src[i*testBlockSize:(i+1)*testBlockSize], byte(10+i))
+	}
+	err := d.WriteBlocks(0, src)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("range write err = %v, want ErrInjected", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("range write err = %T, want *PartialError", err)
+	}
+	if pe.Done != 3 {
+		t.Fatalf("partial completion = %d blocks, want 3", pe.Done)
+	}
+	// Exactly the budgeted prefix landed.
+	got := make([]byte, testBlockSize)
+	for i := uint64(0); i < 8; i++ {
+		if err := mem.ReadBlock(i, got); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(0)
+		if i < 3 {
+			want = src[i*testBlockSize]
+		}
+		if got[0] != want {
+			t.Fatalf("block %d first byte = %d, want %d", i, got[0], want)
+		}
+	}
+	// The budget is exhausted: later single-block writes fail too.
+	if err := d.WriteBlock(0, src[:testBlockSize]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after tripped range err = %v", err)
+	}
+}
+
+func TestFaultDeviceRangeReadPartialCompletion(t *testing.T) {
+	mem := NewMemDevice(testBlockSize, 16)
+	for i := uint64(0); i < 8; i++ {
+		b := make([]byte, testBlockSize)
+		fillPattern(b, byte(20+i))
+		if err := mem.WriteBlock(i, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewFaultDevice(mem)
+	d.FailReadsAfter(5)
+	dst := make([]byte, 8*testBlockSize)
+	err := d.ReadBlocks(0, dst)
+	var pe *PartialError
+	if !errors.As(err, &pe) || pe.Done != 5 {
+		t.Fatalf("range read err = %v, want PartialError with Done=5", err)
+	}
+	for i := 0; i < 5; i++ {
+		if dst[i*testBlockSize] != byte(20+i) {
+			t.Fatalf("prefix block %d not transferred", i)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if dst[i*testBlockSize] != 0 {
+			t.Fatalf("block %d past the fault was transferred", i)
+		}
+	}
+}
+
 func TestFaultDeviceDoesNotWriteOnFault(t *testing.T) {
 	mem := NewMemDevice(testBlockSize, 8)
 	d := NewFaultDevice(mem)

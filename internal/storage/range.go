@@ -59,6 +59,24 @@ func WriteBlocks(d Device, start uint64, src []byte) error {
 	return writeBlocksSlow(d, start, src)
 }
 
+// ForEachRun walks a sorted slice of block indexes and invokes fn once per
+// maximal run of consecutive indexes, with the run's first index and
+// length. Callers use it to turn block sets into vectored range operations
+// (run-length discards, coalesced metadata application).
+func ForEachRun(sorted []uint64, fn func(start uint64, count int) error) error {
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		for j < len(sorted) && sorted[j] == sorted[j-1]+1 {
+			j++
+		}
+		if err := fn(sorted[i], j-i); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
 // readBlocksSlow is the generic per-block fallback behind ReadBlocks.
 func readBlocksSlow(d Device, start uint64, dst []byte) error {
 	bs := d.BlockSize()

@@ -3,53 +3,99 @@ package thinp
 import (
 	"bytes"
 	"fmt"
+	"hash/crc64"
 	"sort"
 
 	"mobiceal/internal/storage"
 )
 
-// Metadata layout on the metadata device, packed across blocks:
+// Metadata layout v2 on the metadata device — A/B shadow images:
 //
-//	superblock: magic u64 | version u32 | blockSize u32 | dataBlocks u64 |
-//	            txID u64 | thinCount u32
-//	bitmap:     one bit per data block
-//	thins:      per thin: id u32 | virtBlocks u64 | mapCount u64 |
-//	            mapCount * (vblock u64, pblock u64), sorted by vblock
+//	block 0:           superblock, slot 0
+//	block 1:           superblock, slot 1
+//	blocks 2..2+S:     image slot 0
+//	blocks 2+S..2+2S:  image slot 1      (S = (metaBlocks-2)/2)
+//
+// Each image packs: bitmap (one bit per data block) | per thin: id u32 |
+// virtBlocks u64 | mapCount u64 | mapCount * (vblock u64, pblock u64),
+// sorted by vblock. Each superblock carries:
+//
+//	magic u64 | version u32 | blockSize u32 | dataBlocks u64 | txID u64 |
+//	thinCount u32 | pad u32 | imageLen u64 | imageSum u64 | selfSum u64
+//
+// A commit assembles the new image, writes the blocks that changed into the
+// INACTIVE slot, syncs, then writes that slot's superblock — carrying the
+// new transaction id, the image checksum and its own checksum — and syncs
+// again. That single-block superblock write is the atomic commit point:
+// recovery (OpenPool) reads both superblocks, discards any whose checksums
+// fail to validate, and loads the valid slot with the highest transaction
+// id. A power cut at any device write — including one that tears a block in
+// half — therefore lands the pool in exactly the pre-commit or post-commit
+// state, never in between.
 //
 // Everything is plaintext: the paper's threat model explicitly allows the
 // adversary to read the global bitmap and the per-volume mappings (Sec.
 // IV-B "the system keeps the metadata in a known location and the adversary
-// can have access to them"). Deniability must therefore not depend on
-// metadata secrecy — hidden-volume entries are indistinguishable from
-// dummy-volume entries, which the adversary package verifies.
+// can have access to them"). The checksums exist for crash detection, not
+// secrecy — deniability must not depend on metadata secrecy, and
+// hidden-volume entries remain indistinguishable from dummy-volume entries,
+// which the adversary package verifies.
 
 const (
-	superLen = 8 + 4 + 4 + 8 + 8 + 4
-	// superTxOff is the byte offset of the transaction id within the
-	// superblock, patched in place by incremental commits.
-	superTxOff = 8 + 4 + 4 + 8
+	superLen = 8 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 8 + 8
+	// superSlots is the number of superblock/image slot pairs.
+	superSlots = 2
+	// Byte offsets within a marshaled superblock.
+	superTxOff      = 24
+	superCountOff   = 32
+	superImgLenOff  = 40
+	superImgSumOff  = 48
+	superSelfSumOff = 56
 )
 
+// crcTable drives the superblock and image checksums (CRC64/ECMA — cheap,
+// and torn-write detection needs error detection, not authentication).
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Recovery describes the A/B slot selection OpenPool performed when the
+// pool was loaded, the mount-time recovery record a real deployment would
+// log.
+type Recovery struct {
+	// Slot is the metadata slot the pool loaded (0 or 1).
+	Slot int
+	// TxID is the transaction id of the loaded image.
+	TxID uint64
+	// RolledBack reports that the other slot was discarded because it
+	// failed validation (torn superblock, corrupt image) rather than for
+	// simply being older — the signature of a commit interrupted by a
+	// power cut, rolled back to the last durable transaction.
+	RolledBack bool
+	// Reason describes why the other slot was discarded, when it was.
+	Reason string
+}
+
 // Commit persists the pool metadata transactionally: the transaction id is
-// incremented and the metadata image is brought up to date on the device.
-// Blocks allocated since the previous commit become durable; the in-memory
-// transaction record is cleared.
+// incremented, the updated image lands in the inactive metadata slot, and
+// the slot's superblock write flips it active. Blocks allocated since the
+// previous commit become durable; the in-memory transaction record is
+// cleared. A crash before the superblock write leaves the previous commit
+// intact; a crash after leaves this one — there is no intermediate state.
 //
-// Commit is incremental: it tracks which thins and bitmap words changed
-// since the previous commit and rewrites only the metadata blocks whose
-// bytes differ, so a commit after touching a handful of blocks costs O(delta)
-// device writes instead of a full O(total-mapped-blocks) image rewrite. The
-// on-disk format is identical to a full rewrite — OpenPool cannot tell the
-// two apart.
+// Commit is incremental: it tracks which thins and bitmap words changed and
+// rewrites only the metadata blocks whose bytes differ from the target
+// slot's previous content, so a commit after touching a handful of blocks
+// costs O(delta) device writes instead of a full image rewrite.
 func (p *Pool) Commit() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.commitLocked(false)
 }
 
-// CommitFull persists the pool metadata by rewriting the entire image,
-// bypassing the incremental path. It exists as an escape hatch (and to give
-// tests a reference image to compare the incremental path against).
+// CommitFull persists the pool metadata by rewriting the target slot's
+// entire image, bypassing the incremental delta. It exists as an escape
+// hatch (and to give tests a reference image to compare the incremental
+// path against). The commit protocol — inactive slot, then superblock flip
+// — is identical.
 func (p *Pool) CommitFull() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -58,80 +104,88 @@ func (p *Pool) CommitFull() error {
 
 func (p *Pool) commitLocked(full bool) error {
 	p.txID++
-	if full || p.structDirty || p.lastImage == nil {
-		return p.commitFullLocked()
+	var image []byte
+	var err error
+	switch {
+	case full || p.structDirty || p.slotImages[p.active] == nil:
+		// Structural change (thin created/deleted) or no usable cache:
+		// rebuild every per-thin segment and assemble from scratch.
+		for id, tm := range p.thins {
+			p.segs[id] = marshalThinFull(tm)
+		}
+		if image, err = p.assembleLocked(nil); err != nil {
+			return err
+		}
+	case len(p.dirtyThins) == 0 && len(p.dirtyBM) == 0:
+		// Nothing changed but the transaction id: the image is reused
+		// verbatim, and the slot diff below decides what (if anything)
+		// still needs to reach the inactive slot.
+		image = p.slotImages[p.active]
+	default:
+		for id := range p.dirtyThins {
+			if tm, ok := p.thins[id]; ok {
+				p.segs[id] = marshalThinDelta(tm, p.segs[id])
+			}
+		}
+		if image, err = p.assembleLocked(p.slotImages[p.active][:p.bmLen()]); err != nil {
+			return err
+		}
 	}
-	return p.commitDeltaLocked()
-}
 
-// commitFullLocked rebuilds every per-thin segment, assembles the whole
-// image and writes it out, priming the caches the incremental path runs on.
-func (p *Pool) commitFullLocked() error {
-	for id, tm := range p.thins {
-		p.segs[id] = marshalThinFull(tm)
+	target := 1 - p.active
+	prev := p.slotImages[target]
+	if full {
+		prev = nil // rewrite the whole slot, not just the diff
 	}
-	image, err := p.assembleLocked(nil)
-	if err != nil {
+	if err := p.writeSlotLocked(target, image, prev); err != nil {
+		// The target slot's on-disk content is now unknown; force a full
+		// slot rewrite next time rather than diffing against a stale cache.
+		p.slotImages[target] = nil
 		return err
 	}
-	if err := storage.WriteBlocks(p.meta, 0, image); err != nil {
-		return fmt.Errorf("thinp: writing metadata: %w", err)
+	p.active = target
+	p.slotImages[target] = image
+	p.structDirty = false
+	p.txAlloc = make(map[uint64]struct{})
+	// The frees are durable now: quarantined blocks return to the
+	// allocator's view.
+	for pb := range p.txFree {
+		if err := p.allocBM.Clear(pb); err != nil {
+			return fmt.Errorf("thinp: releasing quarantined block %d: %w", pb, err)
+		}
 	}
-	if err := p.meta.Sync(); err != nil {
-		return fmt.Errorf("thinp: syncing metadata: %w", err)
-	}
-	p.commitDoneLocked(image)
+	p.txFree = make(map[uint64]struct{})
+	clear(p.dirtyThins)
+	clear(p.dirtyBM)
 	return nil
 }
 
-// commitDeltaLocked re-marshals only the dirty thins, reassembles the image
-// from cached segments and writes the metadata blocks that differ from the
-// previous commit — block 0 always carries the new transaction id.
-func (p *Pool) commitDeltaLocked() error {
-	if len(p.dirtyThins) == 0 && len(p.dirtyBM) == 0 {
-		// Nothing changed but the transaction id: patch it into the cached
-		// image and rewrite the superblock block alone.
-		putUint64(p.lastImage[superTxOff:], p.txID)
-		bs := p.meta.BlockSize()
-		if err := p.meta.WriteBlock(0, p.lastImage[:bs]); err != nil {
-			return fmt.Errorf("thinp: writing metadata superblock: %w", err)
-		}
-		if err := p.meta.Sync(); err != nil {
-			return fmt.Errorf("thinp: syncing metadata: %w", err)
-		}
-		p.txAlloc = make(map[uint64]struct{})
-		return nil
-	}
-	for id := range p.dirtyThins {
-		if tm, ok := p.thins[id]; ok {
-			p.segs[id] = marshalThinDelta(tm, p.segs[id])
-		}
-	}
-	image, err := p.assembleLocked(p.lastImage[superLen : superLen+p.bmLen()])
-	if err != nil {
-		return err
-	}
+// writeSlotLocked installs image as the slot's content and seals it with
+// the slot's superblock. Only blocks that differ from prev (the slot's last
+// known on-disk content; nil rewrites everything) are written, in maximal
+// runs. The sync between the image writes and the superblock write is the
+// ordering barrier the commit protocol rests on: the flip must never reach
+// stable storage before the image it points at.
+func (p *Pool) writeSlotLocked(slot int, image, prev []byte) error {
 	bs := p.meta.BlockSize()
-	prev := p.lastImage
-	// Walk the new image block-wise and write maximal runs of changed
-	// blocks. Blocks past the end of the previous image always count as
-	// changed; stale device blocks past the end of the new image are left
-	// alone — the load path is count-driven and never reads them.
+	base := p.slotBase(slot)
+	dirty := false
 	runStart := -1
 	flush := func(end int) error {
 		if runStart < 0 {
 			return nil
 		}
-		err := storage.WriteBlocks(p.meta, uint64(runStart), image[runStart*bs:end*bs])
+		err := storage.WriteBlocks(p.meta, base+uint64(runStart), image[runStart*bs:end*bs])
 		runStart = -1
+		dirty = true
 		if err != nil {
-			return fmt.Errorf("thinp: writing metadata delta: %w", err)
+			return fmt.Errorf("thinp: writing metadata slot %d: %w", slot, err)
 		}
 		return nil
 	}
 	nBlocks := len(image) / bs
 	for b := 0; b < nBlocks; b++ {
-		changed := (b+1)*bs > len(prev) ||
+		changed := prev == nil || (b+1)*bs > len(prev) ||
 			!bytes.Equal(image[b*bs:(b+1)*bs], prev[b*bs:(b+1)*bs])
 		if changed && runStart < 0 {
 			runStart = b
@@ -145,32 +199,58 @@ func (p *Pool) commitDeltaLocked() error {
 	if err := flush(nBlocks); err != nil {
 		return err
 	}
-	if err := p.meta.Sync(); err != nil {
-		return fmt.Errorf("thinp: syncing metadata: %w", err)
+	if dirty {
+		if err := p.meta.Sync(); err != nil {
+			return fmt.Errorf("thinp: syncing metadata image: %w", err)
+		}
 	}
-	p.commitDoneLocked(image)
+	if err := p.meta.WriteBlock(uint64(slot), p.marshalSuperLocked(image)); err != nil {
+		return fmt.Errorf("thinp: writing metadata superblock %d: %w", slot, err)
+	}
+	if err := p.meta.Sync(); err != nil {
+		return fmt.Errorf("thinp: syncing metadata superblock: %w", err)
+	}
 	return nil
 }
 
-// commitDoneLocked installs the freshly committed image and clears the
-// transaction record and dirty tracking.
-func (p *Pool) commitDoneLocked(image []byte) {
-	p.lastImage = image
-	p.structDirty = false
-	p.txAlloc = make(map[uint64]struct{})
-	clear(p.dirtyThins)
-	clear(p.dirtyBM)
+// marshalSuperLocked builds the superblock sealing image at the current
+// transaction id. Caller holds p.mu.
+func (p *Pool) marshalSuperLocked(image []byte) []byte {
+	buf := make([]byte, p.meta.BlockSize())
+	putUint64(buf, superMagic)
+	putUint32(buf[8:], superVersion)
+	putUint32(buf[12:], uint32(p.data.BlockSize()))
+	putUint64(buf[16:], p.data.NumBlocks())
+	putUint64(buf[superTxOff:], p.txID)
+	putUint32(buf[superCountOff:], uint32(len(p.thins)))
+	putUint64(buf[superImgLenOff:], uint64(len(image)))
+	putUint64(buf[superImgSumOff:], crc64.Checksum(image, crcTable))
+	putUint64(buf[superSelfSumOff:], crc64.Checksum(buf[:superSelfSumOff], crcTable))
+	return buf
 }
 
-// assembleLocked builds the padded metadata image from the superblock, the
-// bitmap and the cached per-thin segments. Only dirty segments have been
-// re-marshaled by the caller; the rest are reused byte-for-byte. When
-// prevBM (the previous image's bitmap region) is given, the bitmap region
-// is copied from it and only the dirty words are re-encoded; nil marshals
-// the whole live bitmap.
+// slotBlocks returns the capacity of one image slot in blocks.
+func (p *Pool) slotBlocks() uint64 {
+	n := p.meta.NumBlocks()
+	if n < superSlots {
+		return 0
+	}
+	return (n - superSlots) / 2
+}
+
+// slotBase returns the first block of image slot 0 or 1.
+func (p *Pool) slotBase(slot int) uint64 {
+	return superSlots + uint64(slot)*p.slotBlocks()
+}
+
+// assembleLocked builds the padded metadata image from the bitmap and the
+// cached per-thin segments. Only dirty segments have been re-marshaled by
+// the caller; the rest are reused byte-for-byte. When prevBM (the previous
+// image's bitmap region) is given, the bitmap region is copied from it and
+// only the dirty words are re-encoded; nil marshals the whole live bitmap.
 func (p *Pool) assembleLocked(prevBM []byte) ([]byte, error) {
 	ids := make([]int, 0, len(p.thins))
-	size := superLen + p.bmLen()
+	size := p.bmLen()
 	for id := range p.thins {
 		ids = append(ids, id)
 		size += len(p.segs[id])
@@ -179,24 +259,11 @@ func (p *Pool) assembleLocked(prevBM []byte) ([]byte, error) {
 
 	bs := p.meta.BlockSize()
 	padded := (size + bs - 1) / bs * bs
-	if uint64(padded/bs) > p.meta.NumBlocks() {
+	if uint64(padded/bs) > p.slotBlocks() {
 		return nil, fmt.Errorf("%w: metadata image %d bytes", ErrMetaSpace, padded)
 	}
 	buf := make([]byte, padded)
 	off := 0
-	putUint64(buf[off:], superMagic)
-	off += 8
-	putUint32(buf[off:], superVersion)
-	off += 4
-	putUint32(buf[off:], uint32(p.data.BlockSize()))
-	off += 4
-	putUint64(buf[off:], p.data.NumBlocks())
-	off += 8
-	putUint64(buf[off:], p.txID)
-	off += 8
-	putUint32(buf[off:], uint32(len(p.thins)))
-	off += 4
-
 	if prevBM != nil {
 		region := buf[off : off+p.bmLen()]
 		copy(region, prevBM)
@@ -311,50 +378,139 @@ func marshalThinDelta(tm *thinMeta, old []byte) []byte {
 	return buf
 }
 
-// load reads pool metadata from the metadata device.
-func (p *Pool) load() error {
-	raw, err := storage.ReadFull(p.meta, 0, p.meta.NumBlocks())
-	if err != nil {
-		return fmt.Errorf("thinp: reading metadata: %w", err)
-	}
-	if len(raw) < superLen {
-		return fmt.Errorf("%w: device smaller than superblock", ErrCorruptMeta)
-	}
-	off := 0
-	if getUint64(raw[off:]) != superMagic {
-		return fmt.Errorf("%w: bad magic", ErrCorruptMeta)
-	}
-	off += 8
-	if v := getUint32(raw[off:]); v != superVersion {
-		return fmt.Errorf("%w: unsupported version %d", ErrCorruptMeta, v)
-	}
-	off += 4
-	if bs := getUint32(raw[off:]); int(bs) != p.data.BlockSize() {
-		return fmt.Errorf("%w: block size %d != data device %d",
-			ErrCorruptMeta, bs, p.data.BlockSize())
-	}
-	off += 4
-	dataBlocks := getUint64(raw[off:])
-	off += 8
-	if dataBlocks != p.data.NumBlocks() {
-		return fmt.Errorf("%w: data blocks %d != device %d",
-			ErrCorruptMeta, dataBlocks, p.data.NumBlocks())
-	}
-	p.txID = getUint64(raw[off:])
-	off += 8
-	thinCount := int(getUint32(raw[off:]))
-	off += 4
+// superCandidate is one slot's superblock as read during load, after its
+// self-checksum validated.
+type superCandidate struct {
+	slot      int
+	txID      uint64
+	thinCount int
+	imageLen  uint64
+	imageSum  uint64
+}
 
-	bm, err := UnmarshalBitmap(dataBlocks, raw[off:])
+// load reads pool metadata from the metadata device, performing A/B
+// recovery: both superblocks are read, invalid ones discarded, and the
+// newest slot whose image checksum validates is loaded. The selection is
+// recorded in p.recovery.
+func (p *Pool) load() error {
+	bs := p.meta.BlockSize()
+	if p.meta.NumBlocks() < superSlots+2 || bs < superLen {
+		return fmt.Errorf("%w: device smaller than two metadata slots", ErrCorruptMeta)
+	}
+	var cands []superCandidate
+	var reasons []string
+	reject := func(slot int, format string, args ...any) {
+		reasons = append(reasons, fmt.Sprintf("slot %d: ", slot)+fmt.Sprintf(format, args...))
+	}
+	buf := make([]byte, bs)
+	for slot := 0; slot < superSlots; slot++ {
+		if err := p.meta.ReadBlock(uint64(slot), buf); err != nil {
+			return fmt.Errorf("thinp: reading superblock %d: %w", slot, err)
+		}
+		if allZero(buf) {
+			// A never-used slot (freshly formatted pool), not crash damage.
+			continue
+		}
+		// Magic and version are checked before the checksum so a device
+		// written by a different format version reports a clean version
+		// mismatch, not phantom crash damage.
+		if getUint64(buf) != superMagic {
+			reject(slot, "bad magic")
+			continue
+		}
+		if v := getUint32(buf[8:]); v != superVersion {
+			reject(slot, "unsupported version %d", v)
+			continue
+		}
+		if crc64.Checksum(buf[:superSelfSumOff], crcTable) != getUint64(buf[superSelfSumOff:]) {
+			reject(slot, "superblock checksum mismatch")
+			continue
+		}
+		if sbs := getUint32(buf[12:]); int(sbs) != p.data.BlockSize() {
+			reject(slot, "block size %d != data device %d", sbs, p.data.BlockSize())
+			continue
+		}
+		if db := getUint64(buf[16:]); db != p.data.NumBlocks() {
+			reject(slot, "data blocks %d != device %d", db, p.data.NumBlocks())
+			continue
+		}
+		imageLen := getUint64(buf[superImgLenOff:])
+		if imageLen%uint64(bs) != 0 || imageLen/uint64(bs) > p.slotBlocks() {
+			reject(slot, "image length %d exceeds slot", imageLen)
+			continue
+		}
+		cands = append(cands, superCandidate{
+			slot:      slot,
+			txID:      getUint64(buf[superTxOff:]),
+			thinCount: int(getUint32(buf[superCountOff:])),
+			imageLen:  imageLen,
+			imageSum:  getUint64(buf[superImgSumOff:]),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].txID > cands[j].txID })
+
+	// Validate every candidate, newest first. The first fully valid one is
+	// loaded; the rest are still checksum-verified so the recovery record
+	// can report the interrupted commit a slot with a stale superblock over
+	// a half-rewritten image is evidence of.
+	loaded := false
+	for _, c := range cands {
+		raw, err := storage.ReadFull(p.meta, p.slotBase(c.slot), c.imageLen/uint64(bs))
+		if err != nil {
+			return fmt.Errorf("thinp: reading metadata slot %d: %w", c.slot, err)
+		}
+		if crc64.Checksum(raw, crcTable) != c.imageSum {
+			reject(c.slot, "image checksum mismatch at tx %d", c.txID)
+			continue
+		}
+		if loaded {
+			continue // an older, consistent slot: the normal A/B steady state
+		}
+		if err := p.parseImage(raw, c.thinCount); err != nil {
+			reject(c.slot, "%v", err)
+			continue
+		}
+		p.txID = c.txID
+		p.active = c.slot
+		p.slotImages[c.slot] = raw
+		p.recovery = Recovery{Slot: c.slot, TxID: c.txID}
+		loaded = true
+	}
+	if !loaded {
+		return fmt.Errorf("%w: no valid metadata slot (%v)", ErrCorruptMeta, reasons)
+	}
+	// Any rejected slot — a torn superblock flip, or a commit whose image
+	// never fully landed — means this open rolled the pool back to its
+	// last durable transaction.
+	if len(reasons) > 0 {
+		p.recovery.RolledBack = true
+		p.recovery.Reason = reasons[0]
+	}
+	return nil
+}
+
+// allZero reports whether b contains only zero bytes.
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// parseImage decodes an image (bitmap + thin segments) into the pool's
+// in-memory state.
+func (p *Pool) parseImage(raw []byte, thinCount int) error {
+	bm, err := UnmarshalBitmap(p.data.NumBlocks(), raw)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorruptMeta, err)
 	}
-	p.bm = bm
-	off += bm.MarshaledLen()
+	off := bm.MarshaledLen()
 
-	p.thins = make(map[int]*thinMeta, thinCount)
+	thins := make(map[int]*thinMeta, thinCount)
 	for i := 0; i < thinCount; i++ {
-		if off+20 > len(raw) {
+		if off+thinHeaderLen > len(raw) {
 			return fmt.Errorf("%w: truncated thin header", ErrCorruptMeta)
 		}
 		id := int(getUint32(raw[off:]))
@@ -363,7 +519,7 @@ func (p *Pool) load() error {
 		off += 8
 		count := getUint64(raw[off:])
 		off += 8
-		if off+int(count)*16 > len(raw) {
+		if count > uint64(len(raw)-off)/16 {
 			return fmt.Errorf("%w: truncated mapping table for thin %d", ErrCorruptMeta, id)
 		}
 		tm := newThinMeta(id, virt)
@@ -377,8 +533,10 @@ func (p *Pool) load() error {
 			tm.mapping[vb] = pb
 			tm.sorted = append(tm.sorted, vb)
 		}
-		p.thins[id] = tm
+		thins[id] = tm
 	}
+	p.bm = bm
+	p.thins = thins
 	return nil
 }
 
@@ -395,8 +553,11 @@ func getUint32(b []byte) uint32 {
 
 // MetaBlocksNeeded returns a metadata-device size (in blocks of blockSize)
 // sufficient for a pool over dataBlocks data blocks, for use when carving a
-// partition into metadata and data regions (Fig. 3 layout).
+// partition into metadata and data regions (Fig. 3 layout). The size covers
+// two superblocks and two full image slots — the A/B commit stores every
+// transaction twice.
 func MetaBlocksNeeded(dataBlocks uint64, blockSize int) uint64 {
-	need := 64 + int((dataBlocks+63)/64)*8 + 16*int(dataBlocks) + 64*64
-	return uint64((need + blockSize - 1) / blockSize)
+	need := int((dataBlocks+63)/64)*8 + 16*int(dataBlocks) + 64*64
+	slot := uint64((need + blockSize - 1) / blockSize)
+	return superSlots + 2*slot
 }

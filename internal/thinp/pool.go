@@ -27,8 +27,10 @@ var (
 )
 
 const (
-	superMagic   = 0x7468696e_706f6f6c // "thinpool"
-	superVersion = 1
+	superMagic = 0x7468696e_706f6f6c // "thinpool"
+	// superVersion 2 is the A/B shadow-image format; version 1 was the
+	// single in-place image of the original incremental commit.
+	superVersion = 2
 )
 
 // DummyPolicy is MobiCeal's hook into the provisioning path. After the pool
@@ -143,18 +145,31 @@ type Pool struct {
 	// already contains them; the record exists so an aborted transaction
 	// can roll back and tests can verify the invariant.
 	txAlloc map[uint64]struct{}
+	// txFree quarantines blocks freed from *committed* state since the
+	// last commit, and allocBM is the allocator's view: bm plus the
+	// quarantine. The last durable metadata still maps those blocks, so
+	// reusing one before the free commits would let a crash rollback
+	// resurrect a committed mapping that now points at another volume's
+	// fresh data. Blocks allocated and freed within the same transaction
+	// are exempt — no committed mapping references them.
+	txFree  map[uint64]struct{}
+	allocBM *Bitmap
 
-	// Incremental-commit state. lastImage is the padded metadata image as
-	// of the previous commit and segs holds the marshaled per-thin
-	// segments it was assembled from; dirtyThins and dirtyBM record which
-	// thins and bitmap words changed since, so Commit can rewrite only the
-	// metadata blocks whose bytes actually moved. structDirty forces a
-	// full rewrite (thin created/deleted, or caches not yet primed).
-	lastImage   []byte
+	// Incremental-commit state. active names the metadata slot holding the
+	// last committed image and slotImages caches each slot's on-disk
+	// content; segs holds the marshaled per-thin segments the active image
+	// was assembled from. dirtyThins and dirtyBM record which thins and
+	// bitmap words changed since the last commit, so Commit can rewrite
+	// only the metadata blocks whose bytes actually moved. structDirty
+	// forces a full rebuild (thin created/deleted, or caches not yet
+	// primed). recovery records the A/B slot selection of the last load.
+	active      int
+	slotImages  [2][]byte
 	segs        map[int][]byte
 	dirtyThins  map[int]struct{}
 	dirtyBM     map[uint64]struct{}
 	structDirty bool
+	recovery    Recovery
 
 	// DummyBlocksWritten counts noise blocks produced by the dummy-write
 	// mechanism; experiments read it for write-amplification accounting.
@@ -169,20 +184,34 @@ func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 		data:        data,
 		meta:        meta,
 		bm:          NewBitmap(data.NumBlocks()),
+		allocBM:     NewBitmap(data.NumBlocks()),
 		thins:       make(map[int]*thinMeta),
 		opts:        opts,
 		txAlloc:     make(map[uint64]struct{}),
+		txFree:      make(map[uint64]struct{}),
 		segs:        make(map[int][]byte),
 		dirtyThins:  make(map[int]struct{}),
 		dirtyBM:     make(map[uint64]struct{}),
 		structDirty: true,
+		// Start with slot 1 nominally active so the format commit below
+		// lands transaction 1 in slot 0.
+		active: 1,
 	}
 	if err := p.checkMetaCapacity(); err != nil {
 		return nil, err
 	}
+	// Invalidate both superblocks first: whatever the device held before —
+	// an older pool, or random fill — must not survive as a plausible slot.
+	zero := make([]byte, meta.BlockSize())
+	for slot := 0; slot < superSlots; slot++ {
+		if err := meta.WriteBlock(uint64(slot), zero); err != nil {
+			return nil, fmt.Errorf("thinp: clearing superblock %d: %w", slot, err)
+		}
+	}
 	if err := p.commitLocked(true); err != nil {
 		return nil, fmt.Errorf("thinp: formatting metadata: %w", err)
 	}
+	p.recovery = Recovery{Slot: p.active, TxID: p.txID}
 	return p, nil
 }
 
@@ -194,6 +223,7 @@ func OpenPool(data, meta storage.Device, opts Options) (*Pool, error) {
 		meta:        meta,
 		opts:        opts,
 		txAlloc:     make(map[uint64]struct{}),
+		txFree:      make(map[uint64]struct{}),
 		segs:        make(map[int][]byte),
 		dirtyThins:  make(map[int]struct{}),
 		dirtyBM:     make(map[uint64]struct{}),
@@ -202,25 +232,27 @@ func OpenPool(data, meta storage.Device, opts Options) (*Pool, error) {
 	if err := p.load(); err != nil {
 		return nil, err
 	}
+	p.allocBM = p.bm.Clone()
 	return p, nil
 }
 
-// checkMetaCapacity verifies the metadata device can hold the superblock,
-// the bitmap and a worst-case fully-mapped mapping table.
+// checkMetaCapacity verifies each metadata slot can hold the bitmap and a
+// worst-case fully-mapped mapping table (the A/B commit needs room for two
+// full images plus the two superblocks).
 func (p *Pool) checkMetaCapacity() error {
 	bs := p.meta.BlockSize()
 	need := p.metaBytesWorstCase()
-	have := int(p.meta.NumBlocks()) * bs
+	have := int(p.slotBlocks()) * bs
 	if need > have {
-		return fmt.Errorf("%w: need %d bytes, have %d", ErrMetaSpace, need, have)
+		return fmt.Errorf("%w: need %d bytes per slot, have %d", ErrMetaSpace, need, have)
 	}
 	return nil
 }
 
 func (p *Pool) metaBytesWorstCase() int {
-	// superblock + bitmap + every data block mapped somewhere (16 bytes per
-	// entry) + generous per-thin headers.
-	return 64 + p.bmLen() + 16*int(p.data.NumBlocks()) + 64*64
+	// bitmap + every data block mapped somewhere (16 bytes per entry) +
+	// generous per-thin headers.
+	return p.bmLen() + 16*int(p.data.NumBlocks()) + 64*64
 }
 
 func (p *Pool) bmLen() int { return int((p.data.NumBlocks()+63)/64) * 8 }
@@ -263,6 +295,22 @@ func (p *Pool) TransactionID() uint64 {
 	return p.txID
 }
 
+// ActiveSlot returns the metadata slot (0 or 1) holding the last committed
+// image.
+func (p *Pool) ActiveSlot() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Recovery returns the A/B slot selection performed when the pool was
+// opened (or, for a fresh pool, the slot the format commit landed in).
+func (p *Pool) Recovery() Recovery {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recovery
+}
+
 // PendingAllocations returns the number of blocks allocated since the last
 // commit (the transaction record of Sec. V-A).
 func (p *Pool) PendingAllocations() int {
@@ -297,11 +345,9 @@ func (p *Pool) DeleteThin(id int) error {
 		return fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
 	for _, pb := range tm.mapping {
-		if err := p.bm.Clear(pb); err != nil {
+		if err := p.releaseLocked(pb); err != nil {
 			return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
 		}
-		delete(p.txAlloc, pb)
-		p.markBMDirty(pb)
 	}
 	delete(p.thins, id)
 	delete(p.segs, id)
@@ -425,18 +471,46 @@ func (p *Pool) markThinDirty(id int) {
 	p.dirtyThins[id] = struct{}{}
 }
 
-// allocateLocked picks and marks one free block. Caller holds p.mu.
+// allocateLocked picks and marks one free block. The allocator draws from
+// allocBM — the free set minus the quarantine of uncommitted frees — so a
+// block the last durable commit still references is never handed out
+// before the free lands. Caller holds p.mu.
 func (p *Pool) allocateLocked() (uint64, error) {
-	pb, err := p.opts.Allocator.PickFree(p.bm)
+	pb, err := p.opts.Allocator.PickFree(p.allocBM)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrNoSpace, err)
 	}
 	if err := p.bm.Set(pb); err != nil {
 		return 0, fmt.Errorf("thinp: marking block %d: %w", pb, err)
 	}
+	if err := p.allocBM.Set(pb); err != nil {
+		return 0, fmt.Errorf("thinp: marking block %d: %w", pb, err)
+	}
 	p.txAlloc[pb] = struct{}{}
 	p.markBMDirty(pb)
 	return pb, nil
+}
+
+// releaseLocked frees physical block pb. A block allocated within the
+// current transaction is returned to the allocator immediately — no
+// committed mapping references it — while a block the last commit still
+// maps is quarantined in txFree until the commit recording the free is
+// durable, mirroring dm-thin's rule of never reusing a block a committed
+// mapping can still reach. Caller holds p.mu.
+func (p *Pool) releaseLocked(pb uint64) error {
+	if err := p.bm.Clear(pb); err != nil {
+		return err
+	}
+	if _, thisTx := p.txAlloc[pb]; thisTx {
+		delete(p.txAlloc, pb)
+		if err := p.allocBM.Clear(pb); err != nil {
+			return err
+		}
+	} else {
+		p.txFree[pb] = struct{}{}
+	}
+	p.markBMDirty(pb)
+	return nil
 }
 
 // provisionLocked maps a new physical block for (thin, vblock) and runs the
@@ -549,11 +623,9 @@ func (p *Pool) discardLocked(tm *thinMeta, vblock uint64) error {
 	}
 	delete(tm.mapping, vblock)
 	tm.noteUnmapped(vblock)
-	if err := p.bm.Clear(pb); err != nil {
+	if err := p.releaseLocked(pb); err != nil {
 		return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
 	}
-	delete(p.txAlloc, pb)
-	p.markBMDirty(pb)
 	p.markThinDirty(tm.id)
 	return nil
 }

@@ -205,20 +205,25 @@ func TestThinRangeFaultPropagation(t *testing.T) {
 	if err := p.CheckIntegrity(); err != nil {
 		t.Fatalf("pool inconsistent after injected fault: %v", err)
 	}
-	// Provisions whose data never landed are unwound: nothing stays
-	// mapped (the coalesced extent failed whole) and the range still
-	// reads as zeros, not stale physical content.
-	if got := p.AllocatedBlocks(); got != 0 {
-		t.Fatalf("allocated = %d after failed range write, want 0", got)
+	// The device completed exactly 4 blocks before the fault (partial
+	// completion is block-granular); their provisions survive with their
+	// data intact, while every provision whose data never landed is
+	// unwound and reads back as zeros, not stale physical content.
+	if got := p.AllocatedBlocks(); got != 4 {
+		t.Fatalf("allocated = %d after partially completed range write, want 4", got)
 	}
 	fd.Disarm()
-	zeros := make([]byte, 16*blockSize)
-	if err := thin.ReadBlocks(0, zeros); err != nil {
+	readBack := make([]byte, 16*blockSize)
+	if err := thin.ReadBlocks(0, readBack); err != nil {
 		t.Fatal(err)
 	}
-	for i, b := range zeros {
-		if b != 0 {
-			t.Fatalf("byte %d = %#x after unwound write, want 0", i, b)
+	for i, b := range readBack {
+		want := byte(0)
+		if i < 4*blockSize {
+			want = 0xCD
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x after faulted write, want %#x", i, b, want)
 		}
 	}
 	// The volume remains usable after the fault clears.
@@ -350,5 +355,87 @@ func TestDeleteThinClearsPendingAllocations(t *testing.T) {
 	}
 	if err := p.CheckIntegrity(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDiscardRange exercises the vectored TRIM path: a run-length discard
+// over a mix of mapped and unmapped blocks frees exactly the mapped ones.
+func TestDiscardRange(t *testing.T) {
+	data := storage.NewMemDevice(blockSize, 256)
+	meta := storage.NewMemDevice(blockSize, MetaBlocksNeeded(256, blockSize))
+	p, err := CreatePool(data, meta, Options{Entropy: prng.NewSeededEntropy(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateThin(1, 128); err != nil {
+		t.Fatal(err)
+	}
+	thin, err := p.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map blocks 0..15 and 32..39, leaving a hole in between.
+	if err := thin.WriteBlocks(0, bytes.Repeat([]byte{0xAB}, 16*blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := thin.WriteBlocks(32, bytes.Repeat([]byte{0xAB}, 8*blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	// Discard [8, 36): 8 mapped + 16 holes + 4 mapped.
+	if err := thin.DiscardRange(8, 28); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := p.MappedBlocks(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped != 12 {
+		t.Fatalf("mapped = %d after range discard, want 12", mapped)
+	}
+	if got := p.AllocatedBlocks(); got != 12 {
+		t.Fatalf("allocated = %d after range discard, want 12", got)
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Discarded blocks read back as zeros; surviving blocks keep data.
+	buf := make([]byte, blockSize)
+	for _, vb := range []uint64{8, 15, 35} {
+		if err := thin.ReadBlock(vb, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0 {
+			t.Fatalf("vblock %d not zero after discard", vb)
+		}
+	}
+	for _, vb := range []uint64{0, 7, 36, 39} {
+		if err := thin.ReadBlock(vb, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0xAB {
+			t.Fatalf("vblock %d lost its data", vb)
+		}
+	}
+	// Out-of-range and empty ranges behave like the read/write range ops.
+	if err := thin.DiscardRange(120, 16); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("overrun discard err = %v, want ErrOutOfRange", err)
+	}
+	if err := thin.DiscardRange(0, 0); err != nil {
+		t.Fatalf("empty discard: %v", err)
+	}
+	// Round-trip: the discarded state survives commit and reload.
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenPool(data, meta, Options{Entropy: prng.NewSeededEntropy(13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reMapped, err := re.MappedBlocks(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reMapped != 12 {
+		t.Fatalf("mapped after reload = %d, want 12", reMapped)
 	}
 }

@@ -1,6 +1,7 @@
 package thinp
 
 import (
+	"errors"
 	"fmt"
 
 	"mobiceal/internal/storage"
@@ -254,9 +255,16 @@ func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 		if werr != nil {
 			// Discard this request's provisions whose data never landed:
 			// left mapped, they would read back stale physical content
-			// instead of zeros. (If a concurrent overlapping write raced
-			// this failed one, its blocks land in the undefined-content
-			// regime overlapping writes already are.)
+			// instead of zeros. A device reporting partial completion
+			// tells us exactly how much of the extent made it; credit the
+			// transferred prefix so its provisions survive. (If a
+			// concurrent overlapping write raced this failed one, its
+			// blocks land in the undefined-content regime overlapping
+			// writes already are.)
+			var pe *storage.PartialError
+			if errors.As(werr, &pe) {
+				done += uint64(pe.Done)
+			}
 			t.pool.mu.Lock()
 			if tm, ok := t.pool.thins[t.id]; ok {
 				for _, vb := range fresh {
@@ -277,16 +285,31 @@ func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 // Discard unmaps virtual block idx, freeing its physical block (the TRIM
 // analogue the garbage collector uses to reclaim dummy space).
 func (t *Thin) Discard(idx uint64) error {
+	return t.DiscardRange(idx, 1)
+}
+
+// DiscardRange unmaps the count virtual blocks starting at start, freeing
+// their physical blocks — the vectored TRIM the garbage collector issues
+// when it reclaims a run of dummy space. The whole range is processed under
+// one pool-lock acquisition, the same economics the read/write range ops
+// get from bio merging. Unprovisioned blocks in the range are no-ops.
+func (t *Thin) DiscardRange(start, count uint64) error {
 	t.pool.mu.Lock()
 	defer t.pool.mu.Unlock()
 	tm, ok := t.pool.thins[t.id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
 	}
-	if idx >= tm.virtBlocks {
-		return fmt.Errorf("%w: vblock %d of %d", storage.ErrOutOfRange, idx, tm.virtBlocks)
+	if count > 0 && (start >= tm.virtBlocks || count > tm.virtBlocks-start) {
+		return fmt.Errorf("%w: vblocks [%d, %d) of %d",
+			storage.ErrOutOfRange, start, start+count, tm.virtBlocks)
 	}
-	return t.pool.discardLocked(tm, idx)
+	for i := uint64(0); i < count; i++ {
+		if err := t.pool.discardLocked(tm, start+i); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sync implements storage.Device: flushes the data device and commits pool
