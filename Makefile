@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: test race bench-smoke bench-json
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches benchmarks that rot without
+# paying for real measurement.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime=1x ./...
+
+# Machine-readable perf numbers for the tracked benchmark set (see
+# BENCH_PR3.json for the committed baseline/post pairs).
+bench-json:
+	./cmd/experiments/bench_pr3.sh

@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench_pr3.sh — run the perf-trajectory benchmark set and emit the results
+# as JSON on stdout (the format committed in BENCH_PR3.json).
+#
+#   ./cmd/experiments/bench_pr3.sh > /tmp/bench.json
+#   BENCHTIME=200x ./cmd/experiments/bench_pr3.sh     # quicker smoke run
+#
+# The set covers the numbers the README performance section tracks: the
+# Fig. 4 stack throughputs (with the *_virt reproduction metrics), the
+# flat-cost metadata commit, the snapshot/diff adversary primitives, and
+# the dense-volume dummy-write picker.
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-1000x}"
+
+{
+	go test -run XXX -bench 'BenchmarkCommitIncremental|BenchmarkSnapshotDiff|BenchmarkFig4' -benchtime "$BENCHTIME" .
+	go test -run XXX -bench 'BenchmarkRandomUnmappedVBlock' -benchtime "$BENCHTIME" ./internal/thinp/
+	go test -run XXX -bench 'BenchmarkSnapshotCheckpoint' -benchtime 100x ./internal/storage/
+} | go run ./cmd/experiments/benchjson

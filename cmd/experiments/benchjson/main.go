@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON array, so benchmark results can be committed,
+// diffed and tracked across PRs instead of living in scrollback.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchtime 1000x . | go run ./cmd/experiments/benchjson
+//
+// Each benchmark line becomes one object carrying the iteration count,
+// ns/op, MB/s when reported, and every custom metric (the *_virt
+// virtual-testbed metrics included) under "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	MBPerS     float64            `json:"mb_per_s,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "MB/s":
+			r.MBPerS = val
+		default:
+			if strings.HasSuffix(unit, "B/op") || strings.HasSuffix(unit, "allocs/op") {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, r.NsPerOp != 0
+}
+
+func run(in *bufio.Scanner, out *json.Encoder) error {
+	var results []Result
+	for in.Scan() {
+		if r, ok := parseLine(in.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := in.Err(); err != nil {
+		return err
+	}
+	return out.Encode(results)
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := run(sc, enc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFig4/MC-P/write \t 1000\t 117092 ns/op\t 559.70 MB/s\t 15237 bwrite_virt_KB/s\t 14870 ddwrite_virt_KB/s")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkFig4/MC-P/write" || r.Iterations != 1000 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.NsPerOp != 117092 || r.MBPerS != 559.70 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["bwrite_virt_KB/s"] != 15237 || r.Metrics["ddwrite_virt_KB/s"] != 14870 {
+		t.Fatalf("metrics %+v", r.Metrics)
+	}
+
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tmobiceal\t64.9s",
+		"BenchmarkBroken\tnotanumber\t12 ns/op",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Fatalf("parsed non-benchmark line %q", bad)
+		}
+	}
+
+	// -benchmem columns are dropped, not treated as metrics.
+	r, ok = parseLine("BenchmarkX \t 200\t 100 ns/op\t 9340 B/op\t 9 allocs/op")
+	if !ok || len(r.Metrics) != 0 {
+		t.Fatalf("benchmem columns leaked into metrics: %+v", r)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -31,9 +32,7 @@ var _ Background = ZeroBackground{}
 
 // FillBlock implements Background.
 func (ZeroBackground) FillBlock(_ uint64, dst []byte) {
-	for i := range dst {
-		dst[i] = 0
-	}
+	clear(dst)
 }
 
 // Equal implements Background.
@@ -69,15 +68,33 @@ func NewNoiseBackground(seed uint64) *NoiseBackground {
 	return &NoiseBackground{seed: seed, block: blk}
 }
 
-// FillBlock implements Background.
+// FillBlock implements Background. The keystream is produced by encrypting
+// the counter straight into dst — byte-identical to XORing an AES-CTR
+// stream into zeros, without the zeroing pass and the XOR pass.
 func (n *NoiseBackground) FillBlock(idx uint64, dst []byte) {
-	var iv [aes.BlockSize]byte
-	binary.BigEndian.PutUint64(iv[:8], idx)
-	stream := cipher.NewCTR(n.block, iv[:])
-	for i := range dst {
-		dst[i] = 0
+	var ctr [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(ctr[:8], idx)
+	for len(dst) >= aes.BlockSize {
+		n.block.Encrypt(dst[:aes.BlockSize], ctr[:])
+		incCounter(&ctr)
+		dst = dst[aes.BlockSize:]
 	}
-	stream.XORKeyStream(dst, dst)
+	if len(dst) > 0 {
+		var tail [aes.BlockSize]byte
+		n.block.Encrypt(tail[:], ctr[:])
+		copy(dst, tail[:])
+	}
+}
+
+// incCounter increments a CTR counter block (big-endian, full width), the
+// same stepping cipher.NewCTR applies.
+func incCounter(ctr *[aes.BlockSize]byte) {
+	for i := aes.BlockSize - 1; i >= 0; i-- {
+		ctr[i]++
+		if ctr[i] != 0 {
+			return
+		}
+	}
 }
 
 // Equal implements Background.
@@ -86,16 +103,64 @@ func (n *NoiseBackground) Equal(other Background) bool {
 	return ok && o.seed == n.seed
 }
 
+// Block-store geometry: blocks are grouped into slabs — one contiguous
+// allocation each, so a device holding S written blocks costs S/slabBlocks
+// allocations instead of S — and slabs are grouped into directories. The
+// two fixed levels keep the root small (one pointer per 16384 blocks), and
+// give snapshots natural copy-on-write grain: a snapshot seals the current
+// generation of directories and slabs, and the first write into a sealed
+// structure clones just that structure.
+const (
+	// 8 blocks per slab balances allocation coalescing against the cost a
+	// cold random single-block write pays to materialize (and zero) its
+	// whole slab — the write pattern MobiCeal's random allocator produces.
+	slabBlockBits = 3
+	slabBlocks    = 1 << slabBlockBits // blocks per slab
+	slabMask      = slabBlocks - 1
+	dirSlabBits   = 11
+	dirSlabs      = 1 << dirSlabBits // slabs per directory
+	dirBlockBits  = slabBlockBits + dirSlabBits
+	dirBlocks     = 1 << dirBlockBits // blocks per directory
+)
+
+// slab holds the materialized content of slabBlocks consecutive blocks.
+// written tracks which of them were ever explicitly written; the rest of
+// data is zero filler that must not shadow the device background.
+type slab struct {
+	gen     uint64
+	written uint64
+	data    []byte
+}
+
+// slabDir is one directory of slabs.
+type slabDir struct {
+	gen   uint64
+	slabs [dirSlabs]*slab
+}
+
 // MemDevice is an in-memory sparse block device with snapshot support. Blocks
 // that were never written read as the configured Background. MemDevice is
 // safe for concurrent use.
+//
+// Snapshots are copy-on-write: taking one is O(1) — it seals the current
+// slab generation — and the cost of isolating it is paid by subsequent
+// writes, which clone only the directories and slabs they actually touch.
 type MemDevice struct {
 	mu        sync.RWMutex
 	blockSize int
 	numBlocks uint64
-	blocks    map[uint64][]byte
 	bg        Background
 	closed    bool
+
+	// gen is the current write generation; rootGen is the generation the
+	// root slice belongs to. A snapshot bumps gen, freezing every structure
+	// carrying an older generation; writers clone frozen structures on
+	// first touch.
+	gen     uint64
+	rootGen uint64
+	root    []*slabDir
+
+	written uint64 // count of explicitly written blocks
 }
 
 var _ RangeDevice = (*MemDevice)(nil)
@@ -115,7 +180,7 @@ func NewMemDeviceBackground(blockSize int, numBlocks uint64, bg Background) *Mem
 	return &MemDevice{
 		blockSize: blockSize,
 		numBlocks: numBlocks,
-		blocks:    make(map[uint64][]byte),
+		root:      make([]*slabDir, (numBlocks+dirBlocks-1)/dirBlocks),
 		bg:        bg,
 	}
 }
@@ -125,6 +190,46 @@ func (d *MemDevice) BlockSize() int { return d.blockSize }
 
 // NumBlocks implements Device.
 func (d *MemDevice) NumBlocks() uint64 { return d.numBlocks }
+
+// slabAt returns the slab of root covering block idx, or nil.
+func slabAt(root []*slabDir, idx uint64) *slab {
+	dir := root[idx>>dirBlockBits]
+	if dir == nil {
+		return nil
+	}
+	return dir.slabs[(idx>>slabBlockBits)&(dirSlabs-1)]
+}
+
+// slabForWrite returns the slab covering block idx, creating it if absent
+// and cloning any structure sealed by a snapshot. Caller holds d.mu for
+// writing.
+func (d *MemDevice) slabForWrite(idx uint64) *slab {
+	if d.rootGen != d.gen {
+		d.root = append([]*slabDir(nil), d.root...)
+		d.rootGen = d.gen
+	}
+	di := idx >> dirBlockBits
+	dir := d.root[di]
+	if dir == nil {
+		dir = &slabDir{gen: d.gen}
+		d.root[di] = dir
+	} else if dir.gen != d.gen {
+		cp := &slabDir{gen: d.gen, slabs: dir.slabs}
+		dir = cp
+		d.root[di] = dir
+	}
+	si := (idx >> slabBlockBits) & (dirSlabs - 1)
+	s := dir.slabs[si]
+	if s == nil {
+		s = &slab{gen: d.gen, data: make([]byte, slabBlocks*d.blockSize)}
+		dir.slabs[si] = s
+	} else if s.gen != d.gen {
+		cp := &slab{gen: d.gen, written: s.written, data: append([]byte(nil), s.data...)}
+		s = cp
+		dir.slabs[si] = s
+	}
+	return s
+}
 
 // ReadBlock implements Device.
 func (d *MemDevice) ReadBlock(idx uint64, dst []byte) error {
@@ -136,12 +241,19 @@ func (d *MemDevice) ReadBlock(idx uint64, dst []byte) error {
 	if err := checkIO(idx, dst, d.blockSize, d.numBlocks); err != nil {
 		return err
 	}
-	if b, ok := d.blocks[idx]; ok {
-		copy(dst, b)
-		return nil
-	}
-	d.bg.FillBlock(idx, dst)
+	readSlabBlock(slabAt(d.root, idx), idx, dst, d.blockSize, d.bg)
 	return nil
+}
+
+// readSlabBlock copies block idx out of s (which covers it), falling back
+// to the background for unwritten blocks. s may be nil.
+func readSlabBlock(s *slab, idx uint64, dst []byte, bs int, bg Background) {
+	off := idx & slabMask
+	if s != nil && s.written&(1<<off) != 0 {
+		copy(dst, s.data[int(off)*bs:])
+		return
+	}
+	bg.FillBlock(idx, dst)
 }
 
 // WriteBlock implements Device.
@@ -154,17 +266,18 @@ func (d *MemDevice) WriteBlock(idx uint64, src []byte) error {
 	if err := checkIO(idx, src, d.blockSize, d.numBlocks); err != nil {
 		return err
 	}
-	b, ok := d.blocks[idx]
-	if !ok {
-		b = make([]byte, d.blockSize)
-		d.blocks[idx] = b
+	s := d.slabForWrite(idx)
+	off := idx & slabMask
+	copy(s.data[int(off)*d.blockSize:(int(off)+1)*d.blockSize], src)
+	if s.written&(1<<off) == 0 {
+		s.written |= 1 << off
+		d.written++
 	}
-	copy(b, src)
 	return nil
 }
 
 // ReadBlocks implements RangeDevice: one lock acquisition for the whole
-// range, one copy per block.
+// range, and fully-written slab spans are served by single bulk copies.
 func (d *MemDevice) ReadBlocks(start uint64, dst []byte) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -174,19 +287,45 @@ func (d *MemDevice) ReadBlocks(start uint64, dst []byte) error {
 	if err := checkRangeIO(start, dst, d.blockSize, d.numBlocks); err != nil {
 		return err
 	}
-	bs := d.blockSize
-	for i := 0; i*bs < len(dst); i++ {
-		out := dst[i*bs : (i+1)*bs]
-		if b, ok := d.blocks[start+uint64(i)]; ok {
-			copy(out, b)
-		} else {
-			d.bg.FillBlock(start+uint64(i), out)
-		}
-	}
+	readSlabRange(d.root, d.bg, d.blockSize, start, dst)
 	return nil
 }
 
-// WriteBlocks implements RangeDevice.
+// readSlabRange reads the validated block range [start, start+len(dst)/bs)
+// out of a slab tree: fully-written slab spans become single bulk copies,
+// the rest falls back per block to the background. Shared by MemDevice
+// (under its lock) and the lock-free immutable Snapshot.
+func readSlabRange(root []*slabDir, bg Background, bs int, start uint64, dst []byte) {
+	n := uint64(len(dst) / bs)
+	for i := uint64(0); i < n; {
+		idx := start + i
+		s := slabAt(root, idx)
+		// Blocks of the request inside this slab.
+		span := slabBlocks - (idx & slabMask)
+		if span > n-i {
+			span = n - i
+		}
+		out := dst[i*uint64(bs) : (i+span)*uint64(bs)]
+		if s != nil && covers(s.written, idx&slabMask, span) {
+			copy(out, s.data[(idx&slabMask)*uint64(bs):])
+		} else {
+			for j := uint64(0); j < span; j++ {
+				readSlabBlock(s, idx+j, out[j*uint64(bs):(j+1)*uint64(bs)], bs, bg)
+			}
+		}
+		i += span
+	}
+}
+
+// covers reports whether the written mask has all span bits set starting at
+// bit off.
+func covers(written, off, span uint64) bool {
+	m := (^uint64(0) >> (64 - span)) << off
+	return written&m == m
+}
+
+// WriteBlocks implements RangeDevice: one slab resolution and one bulk copy
+// per slab span.
 func (d *MemDevice) WriteBlocks(start uint64, src []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -197,14 +336,20 @@ func (d *MemDevice) WriteBlocks(start uint64, src []byte) error {
 		return err
 	}
 	bs := d.blockSize
-	for i := 0; i*bs < len(src); i++ {
-		idx := start + uint64(i)
-		b, ok := d.blocks[idx]
-		if !ok {
-			b = make([]byte, bs)
-			d.blocks[idx] = b
+	n := uint64(len(src) / bs)
+	for i := uint64(0); i < n; {
+		idx := start + i
+		s := d.slabForWrite(idx)
+		off := idx & slabMask
+		span := slabBlocks - off
+		if span > n-i {
+			span = n - i
 		}
-		copy(b, src[i*bs:(i+1)*bs])
+		copy(s.data[off*uint64(bs):(off+span)*uint64(bs)], src[i*uint64(bs):(i+span)*uint64(bs)])
+		m := (^uint64(0) >> (64 - span)) << off
+		d.written += uint64(bits.OnesCount64(m &^ s.written))
+		s.written |= m
+		i += span
 	}
 	return nil
 }
@@ -233,24 +378,25 @@ func (d *MemDevice) Close() error {
 func (d *MemDevice) WrittenBlocks() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.blocks)
+	return int(d.written)
 }
 
 // Snapshot captures a full point-in-time image of the device, the operation
 // the paper's multi-snapshot adversary performs at each checkpoint.
+//
+// The capture is copy-on-write: it shares the device's slab tree and bumps
+// the write generation, so the snapshot itself is O(1) and later device
+// writes clone only the slabs they dirty. Per checkpoint the total cost is
+// O(blocks written since the previous snapshot), not O(all written blocks).
 func (d *MemDevice) Snapshot() *Snapshot {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	blocks := make(map[uint64][]byte, len(d.blocks))
-	for idx, b := range d.blocks {
-		cp := make([]byte, len(b))
-		copy(cp, b)
-		blocks[idx] = cp
-	}
-	return &Snapshot{
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := &Snapshot{
 		blockSize: d.blockSize,
 		numBlocks: d.numBlocks,
-		blocks:    blocks,
+		root:      d.root,
 		bg:        d.bg,
 	}
+	d.gen++
+	return snap
 }

@@ -2,17 +2,23 @@ package storage
 
 import (
 	"bytes"
-	"sort"
 )
 
 // Snapshot is an immutable full image of a block device at one point in
 // time. It is what the paper's multi-snapshot adversary captures (Sec.
 // III-A: "take snapshot of the block device storage ... at different points
 // of time") and later correlates.
+//
+// A snapshot shares the device's slab tree as of the capture instant; the
+// device seals that generation and clones slabs on write, so the shared
+// structures are immutable. Two snapshots of the same device share every
+// slab that was not dirtied between them, which Diff exploits: identical
+// subtrees are skipped by pointer comparison, making the correlation pass
+// O(blocks changed between captures) instead of O(all written blocks).
 type Snapshot struct {
 	blockSize int
 	numBlocks uint64
-	blocks    map[uint64][]byte
+	root      []*slabDir
 	bg        Background
 }
 
@@ -29,11 +35,7 @@ func (s *Snapshot) ReadBlock(idx uint64, dst []byte) error {
 	if err := checkIO(idx, dst, s.blockSize, s.numBlocks); err != nil {
 		return err
 	}
-	if b, ok := s.blocks[idx]; ok {
-		copy(dst, b)
-		return nil
-	}
-	s.bg.FillBlock(idx, dst)
+	readSlabBlock(slabAt(s.root, idx), idx, dst, s.blockSize, s.bg)
 	return nil
 }
 
@@ -45,15 +47,7 @@ func (s *Snapshot) ReadBlocks(start uint64, dst []byte) error {
 	if err := checkRangeIO(start, dst, s.blockSize, s.numBlocks); err != nil {
 		return err
 	}
-	bs := s.blockSize
-	for i := 0; i*bs < len(dst); i++ {
-		out := dst[i*bs : (i+1)*bs]
-		if b, ok := s.blocks[start+uint64(i)]; ok {
-			copy(out, b)
-		} else {
-			s.bg.FillBlock(start+uint64(i), out)
-		}
-	}
+	readSlabRange(s.root, s.bg, s.blockSize, start, dst)
 	return nil
 }
 
@@ -81,55 +75,71 @@ func (s *Snapshot) Block(idx uint64) []byte {
 // block in the diff changed between captures and must be *accountable* —
 // explainable by public writes or dummy writes — or deniability is lost.
 //
+// Snapshots of the same device share every slab not dirtied between the two
+// captures; those subtrees are skipped wholesale by pointer equality, so
+// the walk touches only changed slabs plus, when the two snapshots carry
+// different backgrounds, the unmaterialized remainder (images of devices
+// initialized differently disagree on every untouched block).
+//
 // Diff panics if the two snapshots have different geometry, which would mean
 // the adversary imaged two different devices.
 func (s *Snapshot) Diff(other *Snapshot) []uint64 {
 	if s.blockSize != other.blockSize || s.numBlocks != other.numBlocks {
 		panic("storage: diffing snapshots of different geometry")
 	}
-	seen := make(map[uint64]struct{}, len(s.blocks)+len(other.blocks))
-	for idx := range s.blocks {
-		seen[idx] = struct{}{}
-	}
-	for idx := range other.blocks {
-		seen[idx] = struct{}{}
-	}
 	sameBG := s.bg.Equal(other.bg)
 	var diff []uint64
 	bufA := make([]byte, s.blockSize)
 	bufB := make([]byte, s.blockSize)
-	for idx := range seen {
-		_, inA := s.blocks[idx]
-		_, inB := other.blocks[idx]
-		if !inA && !inB {
-			// Both read as background; identical iff backgrounds match,
-			// and with distinct backgrounds every such block differs —
-			// handled below by the full scan branch.
+	for di := range s.root {
+		dirA, dirB := s.root[di], other.root[di]
+		if dirA == dirB && sameBG {
+			// Shared subtree: written blocks share storage, unwritten
+			// blocks share the background.
 			continue
 		}
-		if err := s.ReadBlock(idx, bufA); err != nil {
-			panic("storage: snapshot self-read failed: " + err.Error())
-		}
-		if err := other.ReadBlock(idx, bufB); err != nil {
-			panic("storage: snapshot self-read failed: " + err.Error())
-		}
-		if !bytes.Equal(bufA, bufB) {
-			diff = append(diff, idx)
-		}
-	}
-	if !sameBG {
-		// Different backgrounds: every block not materialized in either
-		// snapshot also differs. This only happens when the adversary
-		// compares images of devices initialized differently.
-		for idx := uint64(0); idx < s.numBlocks; idx++ {
-			_, inA := s.blocks[idx]
-			_, inB := other.blocks[idx]
-			if !inA && !inB {
-				diff = append(diff, idx)
+		for si := 0; si < dirSlabs; si++ {
+			base := uint64(di)<<dirBlockBits + uint64(si)<<slabBlockBits
+			if base >= s.numBlocks {
+				break
+			}
+			var sa, sb *slab
+			if dirA != nil {
+				sa = dirA.slabs[si]
+			}
+			if dirB != nil {
+				sb = dirB.slabs[si]
+			}
+			if sa == sb && sameBG {
+				continue
+			}
+			end := base + slabBlocks
+			if end > s.numBlocks {
+				end = s.numBlocks
+			}
+			for idx := base; idx < end; idx++ {
+				off := idx & slabMask
+				wa := sa != nil && sa.written&(1<<off) != 0
+				wb := sb != nil && sb.written&(1<<off) != 0
+				switch {
+				case !wa && !wb:
+					// Both read as background; identical iff the
+					// backgrounds match.
+					if !sameBG {
+						diff = append(diff, idx)
+					}
+				case wa && wb && sa == sb:
+					// Same materialized bytes.
+				default:
+					readSlabBlock(sa, idx, bufA, s.blockSize, s.bg)
+					readSlabBlock(sb, idx, bufB, other.blockSize, other.bg)
+					if !bytes.Equal(bufA, bufB) {
+						diff = append(diff, idx)
+					}
+				}
 			}
 		}
 	}
-	sort.Slice(diff, func(i, j int) bool { return diff[i] < diff[j] })
 	return diff
 }
 
@@ -138,16 +148,28 @@ func (s *Snapshot) Diff(other *Snapshot) []uint64 {
 // device initialized with random fill, this is invisible to the adversary;
 // for a zero-filled device it is exactly the written set.
 func (s *Snapshot) MaterializedBlocks() []uint64 {
-	buf := make([]byte, s.blockSize)
 	bg := make([]byte, s.blockSize)
 	var out []uint64
-	for idx, b := range s.blocks {
-		s.bg.FillBlock(idx, bg)
-		copy(buf, b)
-		if !bytes.Equal(buf, bg) {
-			out = append(out, idx)
+	for di, dir := range s.root {
+		if dir == nil {
+			continue
+		}
+		for si, sl := range dir.slabs {
+			if sl == nil || sl.written == 0 {
+				continue
+			}
+			base := uint64(di)<<dirBlockBits + uint64(si)<<slabBlockBits
+			for off := uint64(0); off < slabBlocks; off++ {
+				if sl.written&(1<<off) == 0 {
+					continue
+				}
+				idx := base + off
+				s.bg.FillBlock(idx, bg)
+				if !bytes.Equal(sl.data[off*uint64(s.blockSize):(off+1)*uint64(s.blockSize)], bg) {
+					out = append(out, idx)
+				}
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -177,8 +177,10 @@ func TestIncrementalCommitRoundTrip(t *testing.T) {
 			t.Fatalf("mapping entry %d differs after reload", i)
 		}
 	}
-	// A pool reopened from disk commits full once (caches unprimed), then
-	// incrementally; both must keep round-tripping.
+	// A reopened pool's arena primes straight from the loaded image, so it
+	// commits incrementally from the first transaction; the first commit
+	// still rewrites the (unknown) inactive slot in full via its pending
+	// set. Both must keep round-tripping.
 	thin, err := re.Thin(1)
 	if err != nil {
 		t.Fatal(err)

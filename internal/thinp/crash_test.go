@@ -22,10 +22,11 @@ func snapPool(p *Pool) poolSnap {
 	defer p.mu.Unlock()
 	s := poolSnap{txID: p.txID, alloc: p.bm.Allocated(), thins: make(map[int]map[uint64]uint64)}
 	for id, tm := range p.thins {
-		m := make(map[uint64]uint64, len(tm.mapping))
-		for vb, pb := range tm.mapping {
+		m := make(map[uint64]uint64, tm.pt.count)
+		tm.pt.forEach(func(vb, pb uint64) bool {
 			m[vb] = pb
-		}
+			return true
+		})
 		s.thins[id] = m
 	}
 	return s

@@ -1,0 +1,44 @@
+package thinp
+
+import (
+	"fmt"
+	"testing"
+
+	"mobiceal/internal/prng"
+)
+
+// BenchmarkRandomUnmappedVBlock pins the cost of picking a dummy-write
+// target on a nearly full volume — the hard case, where random sampling
+// almost always hits mapped blocks and the picker must fall back to a
+// directed search. The cost must not scale with the volume size: a late
+// dummy write on a large, dense volume sits on the synchronous write path
+// exactly like an early one.
+func BenchmarkRandomUnmappedVBlock(b *testing.B) {
+	for _, virtBlocks := range []uint64{1 << 16, 1 << 20} {
+		virtBlocks := virtBlocks
+		b.Run(fmt.Sprintf("virtBlocks=%d", virtBlocks), func(b *testing.B) {
+			// 99.9% mapped: a uniform sample hits a mapped block with
+			// probability .999, so the 64-sample fast path fails ~94% of the
+			// time and the benchmark measures the fallback.
+			tm := newThinMeta(1, virtBlocks)
+			unmapped := virtBlocks / 1000
+			src := prng.NewSource(7)
+			for vb := uint64(0); vb < virtBlocks; vb++ {
+				tm.mapSet(vb, vb)
+			}
+			for n := uint64(0); n < unmapped; {
+				vb := src.Uint64n(virtBlocks)
+				if tm.mapDelete(vb) {
+					n++
+				}
+			}
+			p := &Pool{opts: Options{DummySrc: prng.NewSource(11)}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := p.randomUnmappedVBlock(tm); !ok {
+					b.Fatal("no unmapped block found")
+				}
+			}
+		})
+	}
+}

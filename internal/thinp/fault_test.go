@@ -256,8 +256,8 @@ func TestCheckIntegrityDetectsDoubleOwnership(t *testing.T) {
 	}
 	// Corrupt: alias thin 1's physical block into thin 2's mapping.
 	p.mu.Lock()
-	pb := p.thins[1].mapping[0]
-	p.thins[2].mapping[9] = pb
+	pb, _ := p.thins[1].pt.get(0)
+	p.thins[2].pt.set(9, pb)
 	p.mu.Unlock()
 	if err := p.CheckIntegrity(); err == nil {
 		t.Fatal("double ownership not detected")

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"hash/crc64"
+	"math/bits"
 	"sort"
 
 	"mobiceal/internal/storage"
@@ -23,15 +24,27 @@ import (
 //	magic u64 | version u32 | blockSize u32 | dataBlocks u64 | txID u64 |
 //	thinCount u32 | pad u32 | imageLen u64 | imageSum u64 | selfSum u64
 //
-// A commit assembles the new image, writes the blocks that changed into the
-// INACTIVE slot, syncs, then writes that slot's superblock — carrying the
-// new transaction id, the image checksum and its own checksum — and syncs
-// again. That single-block superblock write is the atomic commit point:
-// recovery (OpenPool) reads both superblocks, discards any whose checksums
-// fail to validate, and loads the valid slot with the highest transaction
-// id. A power cut at any device write — including one that tears a block in
-// half — therefore lands the pool in exactly the pre-commit or post-commit
-// state, never in between.
+// A commit lands the image delta in the INACTIVE slot, syncs, then writes
+// that slot's superblock — carrying the new transaction id, the image
+// checksum and its own checksum — and syncs again. That single-block
+// superblock write is the atomic commit point: recovery (OpenPool) reads
+// both superblocks, discards any whose checksums fail to validate, and
+// loads the valid slot with the highest transaction id. A power cut at any
+// device write — including one that tears a block in half — therefore lands
+// the pool in exactly the pre-commit or post-commit state, never in
+// between.
+//
+// The in-memory source of truth for the image is a persistent mutable
+// arena (Pool.image): commits patch dirty bitmap words and per-thin
+// segment deltas in place and compute the changed meta-block set
+// analytically — dirty-word indexes, patched entry positions, and the
+// shifted suffix when a segment changes length — so commit CPU cost is
+// O(delta + shifted suffix), flat in the pool's total metadata. Because
+// alternate commits land in alternate slots, each slot also carries a
+// pending set of blocks whose on-disk bytes have diverged from the arena
+// since that slot was last written; a commit writes its own changes plus
+// the target slot's pending set, which is exactly the role the whole-image
+// byte diff used to play at O(total) cost.
 //
 // Everything is plaintext: the paper's threat model explicitly allows the
 // adversary to read the global bitmap and the per-volume mappings (Sec.
@@ -57,6 +70,195 @@ const (
 // and torn-write detection needs error detection, not authentication).
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
+// crcBlockFolder combines per-block CRC64 checksums into the checksum of
+// the concatenated image, exploiting CRC linearity: for messages a and b,
+// Checksum(a||b) = Checksum(b) XOR L(Checksum(a)), where L is the linear
+// operator that advances a CRC register through len(b) zero bytes. The
+// folder precomputes L for one metadata block as a 64x64 GF(2) matrix, so
+// a commit that changed d blocks re-hashes only those blocks and folds the
+// cached sums in O(imageBlocks) word operations — without this, sealing
+// the superblock would re-hash the whole image and put an O(total
+// metadata) term back on the commit path.
+type crcBlockFolder struct {
+	op [64]uint64 // column j holds L(1<<j)
+	// tab is op in byte-sliced form — tab[i][b] = op applied to byte b at
+	// byte position i — so folding one block is 8 table lookups instead of
+	// a 64-iteration matrix-vector product.
+	tab [8][256]uint64
+}
+
+// newCRCBlockFolder builds the zero-advance operator for blockSize bytes
+// by squaring the one-byte operator.
+func newCRCBlockFolder(blockSize int) *crcBlockFolder {
+	// One zero byte advances a raw (uninverted) CRC register c to
+	// crcTable[byte(c)] ^ (c >> 8); CRC tables are GF(2)-linear, so the
+	// step is a linear operator we can exponentiate.
+	var one [64]uint64
+	for j := 0; j < 64; j++ {
+		c := uint64(1) << j
+		one[j] = crcTable[byte(c)] ^ (c >> 8)
+	}
+	var acc [64]uint64
+	for j := range acc {
+		acc[j] = 1 << j // identity
+	}
+	sq := one
+	for e := blockSize; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			acc = crcMatMul(&sq, &acc)
+		}
+		sq = crcMatMul(&sq, &sq)
+	}
+	f := &crcBlockFolder{op: acc}
+	for i := 0; i < 8; i++ {
+		for b := 0; b < 256; b++ {
+			f.tab[i][b] = crcMatApply(&f.op, uint64(b)<<(8*i))
+		}
+	}
+	return f
+}
+
+// apply advances c through one block of zero bytes via the byte tables.
+func (f *crcBlockFolder) apply(c uint64) uint64 {
+	return f.tab[0][byte(c)] ^ f.tab[1][byte(c>>8)] ^ f.tab[2][byte(c>>16)] ^
+		f.tab[3][byte(c>>24)] ^ f.tab[4][byte(c>>32)] ^ f.tab[5][byte(c>>40)] ^
+		f.tab[6][byte(c>>48)] ^ f.tab[7][byte(c>>56)]
+}
+
+// crcMatApply multiplies matrix m by vector c over GF(2).
+func crcMatApply(m *[64]uint64, c uint64) uint64 {
+	var r uint64
+	for i := 0; c != 0; i++ {
+		if c&1 != 0 {
+			r ^= m[i]
+		}
+		c >>= 1
+	}
+	return r
+}
+
+// crcMatMul composes two operators: (a∘b)[j] = a(b[j]).
+func crcMatMul(a, b *[64]uint64) [64]uint64 {
+	var r [64]uint64
+	for j := range b {
+		r[j] = crcMatApply(a, b[j])
+	}
+	return r
+}
+
+// fold returns crc64.Checksum of the concatenation of the equally-sized
+// blocks whose individual checksums are sums.
+func (f *crcBlockFolder) fold(sums []uint64) uint64 {
+	if len(sums) == 0 {
+		return 0
+	}
+	c := sums[0]
+	for _, s := range sums[1:] {
+		c = f.apply(c) ^ s
+	}
+	return c
+}
+
+// resetSet empties a delta set. A set that just carried a large delta is
+// reallocated rather than cleared: Go's map clear walks the map's grown
+// bucket array, so clearing a once-large map would put an O(largest
+// historical delta) term on every later commit.
+func resetSet[K comparable](m *map[K]struct{}) {
+	if len(*m) > 256 {
+		*m = make(map[K]struct{})
+	} else {
+		clear(*m)
+	}
+}
+
+// metaDirty is a bitset over the meta blocks of one image slot, tracking
+// which blocks must be (re)written.
+type metaDirty struct {
+	words []uint64
+	n     uint64
+}
+
+func newMetaDirty(nblocks uint64) *metaDirty {
+	return &metaDirty{words: make([]uint64, (nblocks+63)/64), n: nblocks}
+}
+
+func (m *metaDirty) mark(b uint64) {
+	if b < m.n {
+		m.words[b/64] |= 1 << (b % 64)
+	}
+}
+
+// markRange marks blocks [from, to).
+func (m *metaDirty) markRange(from, to uint64) {
+	for b := from; b < to; b++ {
+		m.mark(b)
+	}
+}
+
+func (m *metaDirty) setAll() {
+	for i := range m.words {
+		m.words[i] = ^uint64(0)
+	}
+	if tail := m.n % 64; tail != 0 && len(m.words) > 0 {
+		m.words[len(m.words)-1] &= (1 << tail) - 1
+	}
+}
+
+func (m *metaDirty) clearAll() {
+	clear(m.words)
+}
+
+// or merges o's marks into m.
+func (m *metaDirty) or(o *metaDirty) {
+	for i := range m.words {
+		m.words[i] |= o.words[i]
+	}
+}
+
+// clearBelow clears every mark below limit.
+func (m *metaDirty) clearBelow(limit uint64) {
+	full := limit / 64
+	for i := uint64(0); i < full && int(i) < len(m.words); i++ {
+		m.words[i] = 0
+	}
+	if int(full) < len(m.words) && limit%64 != 0 {
+		m.words[full] &^= (1 << (limit % 64)) - 1
+	}
+}
+
+// forEachRunBelow calls fn for each maximal run [start, end) of marked
+// blocks below limit.
+func (m *metaDirty) forEachRunBelow(limit uint64, fn func(start, end uint64) error) error {
+	b := uint64(0)
+	for b < limit {
+		w := m.words[b/64] >> (b % 64)
+		if w == 0 {
+			b = (b/64 + 1) * 64
+			continue
+		}
+		b += uint64(bits.TrailingZeros64(w))
+		if b >= limit {
+			break
+		}
+		start := b
+		for b < limit && m.words[b/64]&(1<<(b%64)) != 0 {
+			b++
+		}
+		if err := fn(start, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markBytes marks the meta blocks covering image bytes [from, to).
+func markBytes(m *metaDirty, from, to, bs int) {
+	if to <= from {
+		return
+	}
+	m.markRange(uint64(from/bs), uint64((to+bs-1)/bs))
+}
+
 // Recovery describes the A/B slot selection OpenPool performed when the
 // pool was loaded, the mount-time recovery record a real deployment would
 // log.
@@ -81,21 +283,21 @@ type Recovery struct {
 // cleared. A crash before the superblock write leaves the previous commit
 // intact; a crash after leaves this one — there is no intermediate state.
 //
-// Commit is incremental: it tracks which thins and bitmap words changed and
-// rewrites only the metadata blocks whose bytes differ from the target
-// slot's previous content, so a commit after touching a handful of blocks
-// costs O(delta) device writes instead of a full image rewrite.
+// Commit cost is flat in the pool size: the image arena is patched in
+// place — O(delta) for bitmap words and discard+rewrite entry updates,
+// plus the shifted suffix when a segment changes length — and only the
+// meta blocks recorded as diverged reach the device.
 func (p *Pool) Commit() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.commitLocked(false)
 }
 
-// CommitFull persists the pool metadata by rewriting the target slot's
-// entire image, bypassing the incremental delta. It exists as an escape
-// hatch (and to give tests a reference image to compare the incremental
-// path against). The commit protocol — inactive slot, then superblock flip
-// — is identical.
+// CommitFull persists the pool metadata by rebuilding the image from the
+// page tables and rewriting the target slot in its entirety, bypassing the
+// incremental delta. It exists as an escape hatch (and to give tests a
+// reference image to compare the incremental path against). The commit
+// protocol — inactive slot, then superblock flip — is identical.
 func (p *Pool) CommitFull() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -104,48 +306,47 @@ func (p *Pool) CommitFull() error {
 
 func (p *Pool) commitLocked(full bool) error {
 	p.txID++
-	var image []byte
-	var err error
+	changed := p.changed
+	changed.clearAll()
 	switch {
-	case full || p.structDirty || p.slotImages[p.active] == nil:
-		// Structural change (thin created/deleted) or no usable cache:
-		// rebuild every per-thin segment and assemble from scratch.
-		for id, tm := range p.thins {
-			p.segs[id] = marshalThinFull(tm)
-		}
-		if image, err = p.assembleLocked(nil); err != nil {
+	case full || p.structDirty || p.image == nil:
+		// Structural change (thin created/deleted), explicit full commit,
+		// or no arena yet: rebuild the image from the page tables.
+		if err := p.rebuildImageLocked(changed); err != nil {
 			return err
 		}
 	case len(p.dirtyThins) == 0 && len(p.dirtyBM) == 0:
-		// Nothing changed but the transaction id: the image is reused
-		// verbatim, and the slot diff below decides what (if anything)
-		// still needs to reach the inactive slot.
-		image = p.slotImages[p.active]
+		// Nothing changed but the transaction id; the arena is current.
 	default:
-		for id := range p.dirtyThins {
-			if tm, ok := p.thins[id]; ok {
-				p.segs[id] = marshalThinDelta(tm, p.segs[id])
+		if !p.applyDeltaLocked(changed) {
+			// The in-place accounting lost sync with the arena (or the
+			// image outgrew its slot): rebuild from the page tables and
+			// treat every block as changed.
+			changed.setAll()
+			if err := p.rebuildImageLocked(changed); err != nil {
+				return err
 			}
-		}
-		if image, err = p.assembleLocked(p.slotImages[p.active][:p.bmLen()]); err != nil {
-			return err
 		}
 	}
 
 	target := 1 - p.active
-	prev := p.slotImages[target]
+	writeSet := p.pending[target]
+	writeSet.or(changed)
 	if full {
-		prev = nil // rewrite the whole slot, not just the diff
+		writeSet.setAll()
 	}
-	if err := p.writeSlotLocked(target, image, prev); err != nil {
-		// The target slot's on-disk content is now unknown; force a full
-		// slot rewrite next time rather than diffing against a stale cache.
-		p.slotImages[target] = nil
+	nBlocks := uint64(len(p.image) / p.meta.BlockSize())
+	if err := p.writeSlotLocked(target, nBlocks, writeSet); err != nil {
+		// The target slot's on-disk content is now unknown; rewrite it
+		// wholesale next time. The active slot still diverges by this
+		// commit's arena changes.
+		writeSet.setAll()
+		p.pending[p.active].or(changed)
 		return err
 	}
+	writeSet.clearBelow(nBlocks)
+	p.pending[p.active].or(changed)
 	p.active = target
-	p.slotImages[target] = image
-	p.structDirty = false
 	p.txAlloc = make(map[uint64]struct{})
 	// The frees are durable now: quarantined blocks return to the
 	// allocator's view.
@@ -155,56 +356,463 @@ func (p *Pool) commitLocked(full bool) error {
 		}
 	}
 	p.txFree = make(map[uint64]struct{})
-	clear(p.dirtyThins)
-	clear(p.dirtyBM)
 	return nil
 }
 
-// writeSlotLocked installs image as the slot's content and seals it with
-// the slot's superblock. Only blocks that differ from prev (the slot's last
-// known on-disk content; nil rewrites everything) are written, in maximal
-// runs. The sync between the image writes and the superblock write is the
-// ordering barrier the commit protocol rests on: the flip must never reach
-// stable storage before the image it points at.
-func (p *Pool) writeSlotLocked(slot int, image, prev []byte) error {
+// contentLenLocked returns the unpadded byte length of the current image
+// content. Caller holds p.mu; the arena must be primed.
+func (p *Pool) contentLenLocked() int {
+	if len(p.segIDs) == 0 {
+		return p.bmLen()
+	}
+	tm := p.thins[p.segIDs[len(p.segIDs)-1]]
+	return tm.segOff + tm.segLen
+}
+
+// rebuildImageLocked reassembles the arena from the bitmap and the page
+// tables, records the blocks that differ from the previous arena in
+// changed, and resets all delta bookkeeping. Caller holds p.mu.
+func (p *Pool) rebuildImageLocked(changed *metaDirty) error {
 	bs := p.meta.BlockSize()
-	base := p.slotBase(slot)
-	dirty := false
-	runStart := -1
-	flush := func(end int) error {
-		if runStart < 0 {
-			return nil
+	ids := make([]int, 0, len(p.thins))
+	size := p.bmLen()
+	for id, tm := range p.thins {
+		ids = append(ids, id)
+		size += thinHeaderLen + 16*int(tm.pt.count)
+	}
+	sort.Ints(ids)
+	padded := (size + bs - 1) / bs * bs
+	if uint64(padded/bs) > p.slotBlocks() {
+		return fmt.Errorf("%w: metadata image %d bytes", ErrMetaSpace, padded)
+	}
+	img := make([]byte, padded)
+	off, err := p.bm.MarshalTo(img)
+	if err != nil {
+		// The buffer is sized from bmLen above; failure is impossible.
+		panic("thinp: bitmap marshal sizing: " + err.Error())
+	}
+	for _, id := range ids {
+		tm := p.thins[id]
+		tm.segOff = off
+		tm.segLen = marshalThinTo(img[off:], tm)
+		off += tm.segLen
+		resetSet(&tm.added)
+		resetSet(&tm.removed)
+	}
+	p.segIDs = ids
+
+	old := p.image
+	nb := padded / bs
+	for b := 0; b < nb; b++ {
+		if old == nil || (b+1)*bs > len(old) ||
+			!bytes.Equal(img[b*bs:(b+1)*bs], old[b*bs:(b+1)*bs]) {
+			changed.mark(uint64(b))
 		}
-		err := storage.WriteBlocks(p.meta, base+uint64(runStart), image[runStart*bs:end*bs])
-		runStart = -1
-		dirty = true
-		if err != nil {
-			return fmt.Errorf("thinp: writing metadata slot %d: %w", slot, err)
+	}
+	if old != nil && len(old) > padded {
+		changed.markRange(uint64(padded/bs), uint64(len(old)/bs))
+	}
+	p.image = img
+	p.refreshSumsLocked(changed)
+	resetSet(&p.dirtyThins)
+	resetSet(&p.dirtyBM)
+	p.structDirty = false
+	return nil
+}
+
+// refreshSumsLocked re-hashes the image blocks recorded in changed into the
+// per-block checksum cache, resizing the cache to the current image.
+// Caller holds p.mu.
+func (p *Pool) refreshSumsLocked(changed *metaDirty) {
+	bs := p.meta.BlockSize()
+	nb := len(p.image) / bs
+	if cap(p.blockSums) < nb {
+		ns := make([]uint64, nb)
+		copy(ns, p.blockSums)
+		p.blockSums = ns
+	} else {
+		p.blockSums = p.blockSums[:nb]
+	}
+	_ = changed.forEachRunBelow(uint64(nb), func(start, end uint64) error {
+		for b := start; b < end; b++ {
+			p.blockSums[b] = crc64.Checksum(p.image[b*uint64(bs):(b+1)*uint64(bs)], crcTable)
 		}
 		return nil
-	}
-	nBlocks := len(image) / bs
-	for b := 0; b < nBlocks; b++ {
-		changed := prev == nil || (b+1)*bs > len(prev) ||
-			!bytes.Equal(image[b*bs:(b+1)*bs], prev[b*bs:(b+1)*bs])
-		if changed && runStart < 0 {
-			runStart = b
+	})
+}
+
+// applyDeltaLocked patches the arena in place with everything recorded in
+// dirtyBM and dirtyThins, marking the touched meta blocks in changed. It
+// reports false when the arena and the bookkeeping disagree (caller falls
+// back to a full rebuild) or the grown image would outgrow its slot.
+// Caller holds p.mu.
+func (p *Pool) applyDeltaLocked(changed *metaDirty) bool {
+	bs := p.meta.BlockSize()
+
+	// Size the post-delta image up front, before mutating anything.
+	delta := 0
+	for id := range p.dirtyThins {
+		tm, ok := p.thins[id]
+		if !ok {
+			return false
 		}
-		if !changed {
-			if err := flush(b); err != nil {
-				return err
+		delta += thinHeaderLen + 16*int(tm.pt.count) - tm.segLen
+	}
+	oldContent := p.contentLenLocked()
+	newContent := oldContent + delta
+	newPadded := (newContent + bs - 1) / bs * bs
+	if uint64(newPadded/bs) > p.slotBlocks() {
+		return false
+	}
+
+	// Dirty bitmap words patch in place; their positions are fixed.
+	for w := range p.dirtyBM {
+		if int(w)*8+8 > p.bmLen() {
+			return false
+		}
+		putUint64(p.image[w*8:], p.bm.words[w])
+		markBytes(changed, int(w)*8, int(w)*8+8, bs)
+	}
+	resetSet(&p.dirtyBM)
+
+	// Classify dirty thins: a thin whose adds exactly equal its removes
+	// was discarded-and-reprovisioned at the same vblocks — entry
+	// positions are unchanged and the new physical blocks patch in place.
+	// Anything else changes its segment length or entry positions and
+	// goes through the suffix splice.
+	var splice []int
+	for id := range p.dirtyThins {
+		tm := p.thins[id]
+		if len(tm.added) == 0 && len(tm.removed) == 0 {
+			continue
+		}
+		pure := len(tm.added) == len(tm.removed)
+		if pure {
+			for vb := range tm.added {
+				if _, ok := tm.removed[vb]; !ok {
+					pure = false
+					break
+				}
 			}
 		}
+		if pure {
+			if !p.patchEntriesLocked(tm, changed) {
+				return false
+			}
+		} else {
+			splice = append(splice, id)
+		}
 	}
-	if err := flush(nBlocks); err != nil {
-		return err
+	resetSet(&p.dirtyThins)
+	if len(splice) == 0 {
+		p.refreshSumsLocked(changed)
+		return true
 	}
-	if dirty {
+	sort.Ints(splice)
+	if !p.spliceSegmentsLocked(splice, oldContent, newContent, newPadded, changed) {
+		return false
+	}
+	p.refreshSumsLocked(changed)
+	return true
+}
+
+// patchEntriesLocked rewrites the physical block of every updated entry of
+// tm in place. Caller holds p.mu.
+func (p *Pool) patchEntriesLocked(tm *thinMeta, changed *metaDirty) bool {
+	bs := p.meta.BlockSize()
+	for vb := range tm.added {
+		pb, ok := tm.pt.get(vb)
+		if !ok {
+			return false
+		}
+		pos := tm.segOff + thinHeaderLen + 16*int(tm.pt.rank(vb))
+		if pos+16 > tm.segOff+tm.segLen || getUint64(p.image[pos:]) != vb {
+			return false
+		}
+		putUint64(p.image[pos+8:], pb)
+		markBytes(changed, pos+8, pos+16, bs)
+	}
+	resetSet(&tm.added)
+	resetSet(&tm.removed)
+	return true
+}
+
+// spliceSegmentsLocked rebuilds the arena from the first byte any
+// length-changing segment actually touches: the affected old suffix —
+// starting at the first inserted or deleted entry of the first dirty
+// segment, found by binary search, not at the segment start — is staged in
+// the scratch buffer, each spliced segment is re-merged from its old
+// entries plus its add/remove delta, and clean segments are block-copied
+// at their shifted offsets. The cost is O(delta·log + shifted suffix), and
+// only genuinely moved or rewritten bytes are marked changed. Caller holds
+// p.mu.
+func (p *Pool) spliceSegmentsLocked(splice []int, oldContent, newContent, newPadded int, changed *metaDirty) bool {
+	bs := p.meta.BlockSize()
+	spliceSet := make(map[int]bool, len(splice))
+	for _, id := range splice {
+		spliceSet[id] = true
+	}
+	firstIdx := -1
+	for i, id := range p.segIDs {
+		if spliceSet[id] {
+			firstIdx = i
+			break
+		}
+	}
+	if firstIdx < 0 {
+		return false
+	}
+	oldPadded := len(p.image)
+
+	// The entries of the first dirty segment strictly below its first
+	// inserted/deleted vblock keep their bytes and positions; the splice
+	// starts right after them.
+	tm1 := p.thins[p.segIDs[firstIdx]]
+	ins1 := sortedKeys(tm1.added)
+	del1 := sortedKeys(tm1.removed)
+	cutVb := ptUnmapped
+	if len(ins1) > 0 {
+		cutVb = ins1[0]
+	}
+	if len(del1) > 0 && del1[0] < cutVb {
+		cutVb = del1[0]
+	}
+	entBase := tm1.segOff + thinHeaderLen
+	oldN1 := (tm1.segLen - thinHeaderLen) / 16
+	cutIdx := sort.Search(oldN1, func(k int) bool {
+		return getUint64(p.image[entBase+16*k:]) >= cutVb
+	})
+	scratchBase := entBase + 16*cutIdx
+
+	suffix := oldContent - scratchBase
+	if suffix < 0 || scratchBase+suffix > oldPadded {
+		return false
+	}
+	if cap(p.scratch) < suffix {
+		p.scratch = make([]byte, suffix)
+	}
+	scratch := p.scratch[:suffix]
+	copy(scratch, p.image[scratchBase:oldContent])
+
+	if newPadded > len(p.image) {
+		if newPadded <= cap(p.image) {
+			p.image = p.image[:newPadded]
+		} else {
+			newCap := 2 * cap(p.image)
+			if newCap < newPadded {
+				newCap = newPadded
+			}
+			if slotCap := int(p.slotBlocks()) * bs; newCap > slotCap {
+				newCap = slotCap
+			}
+			// The whole old arena must carry over, not just the prefix
+			// below the scratch region: segments the splice loop leaves
+			// in place (unshifted clean segments, kept prefixes and
+			// headers of unshifted spliced segments) are read from the
+			// arena itself, not from scratch.
+			ni := make([]byte, newPadded, newCap)
+			copy(ni, p.image)
+			p.image = ni
+		}
+	}
+
+	w := tm1.segOff
+	for i := firstIdx; i < len(p.segIDs); i++ {
+		tm := p.thins[p.segIDs[i]]
+		oldOff, oldLen := tm.segOff, tm.segLen
+		oldCount := (oldLen - thinHeaderLen) / 16
+		if spliceSet[tm.id] {
+			ins, del := ins1, del1
+			kept := 0
+			var srcEnts []byte
+			if i == firstIdx {
+				kept = cutIdx
+				srcEnts = scratch[:16*(oldN1-cutIdx)]
+			} else {
+				ins = sortedKeys(tm.added)
+				del = sortedKeys(tm.removed)
+				srcEnts = scratch[oldOff-scratchBase+thinHeaderLen : oldOff-scratchBase+oldLen]
+			}
+			newCount := int(tm.pt.count)
+			newLen := thinHeaderLen + 16*newCount
+			if w+newLen > len(p.image) {
+				return false
+			}
+			if w == oldOff {
+				// Header and kept prefix stay in place; only the
+				// mapCount field may change.
+				if newCount != oldCount {
+					putUint64(p.image[w+12:], uint64(newCount))
+					markBytes(changed, w+12, w+20, bs)
+				}
+			} else {
+				putThinHeader(p.image[w:], tm)
+				markBytes(changed, w, w+thinHeaderLen, bs)
+			}
+			outPos := w + thinHeaderLen + 16*kept
+			out := p.image[outPos : w+newLen]
+			if !p.mergeEntriesLocked(tm, srcEnts, ins, del, out, outPos, w != oldOff, changed) {
+				return false
+			}
+			resetSet(&tm.added)
+			resetSet(&tm.removed)
+			tm.segOff = w
+			tm.segLen = newLen
+			w += newLen
+		} else {
+			if w != oldOff {
+				copy(p.image[w:w+oldLen], scratch[oldOff-scratchBase:oldOff-scratchBase+oldLen])
+				markBytes(changed, w, w+oldLen, bs)
+			}
+			tm.segOff = w
+			w += oldLen
+		}
+	}
+	if w != newContent {
+		return false
+	}
+	if newContent != oldContent {
+		if newPadded > newContent {
+			clear(p.image[newContent:newPadded])
+		}
+		lo := newContent
+		if oldContent < lo {
+			lo = oldContent
+		}
+		hi := oldPadded
+		if newPadded > hi {
+			hi = newPadded
+		}
+		markBytes(changed, lo, hi, bs)
+	}
+	p.image = p.image[:newPadded]
+	return true
+}
+
+// mergeEntriesLocked merges the sorted old entries in srcEnts with the
+// sorted insert/delete vblock lists into out (exactly the new entry
+// region), binary-searching each event's position so the walk is driven by
+// the delta, not the segment size: unchanged runs between events are
+// single bulk copies. outPos is out's absolute arena offset, used to mark
+// changed bytes — when the region is unshifted, only bytes from the first
+// to the last affected position are marked. Caller holds p.mu.
+func (p *Pool) mergeEntriesLocked(tm *thinMeta, srcEnts []byte, ins, del []uint64, out []byte, outPos int, shifted bool, changed *metaDirty) bool {
+	bs := p.meta.BlockSize()
+	oldN := len(srcEnts) / 16
+	si, wo := 0, 0
+	ii, di := 0, 0
+	net := 0
+	first, last := -1, -1
+	copyRun := func(toIdx int) bool {
+		if toIdx > si {
+			n := 16 * (toIdx - si)
+			if wo+n > len(out) {
+				return false
+			}
+			copy(out[wo:], srcEnts[16*si:16*toIdx])
+			if net != 0 {
+				if first < 0 {
+					first = wo
+				}
+				last = wo + n
+			}
+			wo += n
+			si = toIdx
+		}
+		return true
+	}
+	for ii < len(ins) || di < len(del) {
+		var vb uint64
+		isDel := false
+		if di < len(del) && (ii >= len(ins) || del[di] <= ins[ii]) {
+			vb, isDel = del[di], true
+		} else {
+			vb = ins[ii]
+		}
+		idx := si + sort.Search(oldN-si, func(k int) bool {
+			return getUint64(srcEnts[16*(si+k):]) >= vb
+		})
+		if !copyRun(idx) {
+			return false
+		}
+		if isDel {
+			if idx >= oldN || getUint64(srcEnts[16*idx:]) != vb {
+				return false // removed entry absent from the old segment
+			}
+			si = idx + 1
+			if first < 0 {
+				first = wo
+			}
+			if wo > last {
+				last = wo
+			}
+			net--
+			di++
+		} else {
+			if idx < oldN && getUint64(srcEnts[16*idx:]) == vb {
+				return false // insert collides with a live old entry
+			}
+			pb, ok := tm.pt.get(vb)
+			if !ok || wo+16 > len(out) {
+				return false
+			}
+			if first < 0 {
+				first = wo
+			}
+			putUint64(out[wo:], vb)
+			putUint64(out[wo+8:], pb)
+			wo += 16
+			last = wo
+			net++
+			ii++
+		}
+	}
+	if !copyRun(oldN) {
+		return false
+	}
+	if wo != len(out) {
+		return false
+	}
+	if shifted {
+		markBytes(changed, outPos, outPos+len(out), bs)
+	} else if first >= 0 && last > first {
+		markBytes(changed, outPos+first, outPos+last, bs)
+	}
+	return true
+}
+
+// sortedKeys returns the keys of set in ascending order.
+func sortedKeys(set map[uint64]struct{}) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for vb := range set {
+		out = append(out, vb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// writeSlotLocked writes the marked meta blocks of the arena into the
+// slot, in maximal runs, and seals it with the slot's superblock. The sync
+// between the image writes and the superblock write is the ordering
+// barrier the commit protocol rests on: the flip must never reach stable
+// storage before the image it points at.
+func (p *Pool) writeSlotLocked(slot int, nBlocks uint64, dirty *metaDirty) error {
+	bs := uint64(p.meta.BlockSize())
+	base := p.slotBase(slot)
+	wrote := false
+	err := dirty.forEachRunBelow(nBlocks, func(start, end uint64) error {
+		wrote = true
+		return storage.WriteBlocks(p.meta, base+start, p.image[start*bs:end*bs])
+	})
+	if err != nil {
+		return fmt.Errorf("thinp: writing metadata slot %d: %w", slot, err)
+	}
+	if wrote {
 		if err := p.meta.Sync(); err != nil {
 			return fmt.Errorf("thinp: syncing metadata image: %w", err)
 		}
 	}
-	if err := p.meta.WriteBlock(uint64(slot), p.marshalSuperLocked(image)); err != nil {
+	if err := p.meta.WriteBlock(uint64(slot), p.marshalSuperLocked()); err != nil {
 		return fmt.Errorf("thinp: writing metadata superblock %d: %w", slot, err)
 	}
 	if err := p.meta.Sync(); err != nil {
@@ -213,18 +821,23 @@ func (p *Pool) writeSlotLocked(slot int, image, prev []byte) error {
 	return nil
 }
 
-// marshalSuperLocked builds the superblock sealing image at the current
-// transaction id. Caller holds p.mu.
-func (p *Pool) marshalSuperLocked(image []byte) []byte {
-	buf := make([]byte, p.meta.BlockSize())
+// marshalSuperLocked builds the superblock sealing the arena at the
+// current transaction id. The image checksum folds the cached per-block
+// sums instead of re-hashing the image. Caller holds p.mu.
+func (p *Pool) marshalSuperLocked() []byte {
+	if p.superBuf == nil {
+		p.superBuf = make([]byte, p.meta.BlockSize())
+	}
+	buf := p.superBuf
+	clear(buf)
 	putUint64(buf, superMagic)
 	putUint32(buf[8:], superVersion)
 	putUint32(buf[12:], uint32(p.data.BlockSize()))
 	putUint64(buf[16:], p.data.NumBlocks())
 	putUint64(buf[superTxOff:], p.txID)
 	putUint32(buf[superCountOff:], uint32(len(p.thins)))
-	putUint64(buf[superImgLenOff:], uint64(len(image)))
-	putUint64(buf[superImgSumOff:], crc64.Checksum(image, crcTable))
+	putUint64(buf[superImgLenOff:], uint64(len(p.image)))
+	putUint64(buf[superImgSumOff:], p.crcFold.fold(p.blockSums))
 	putUint64(buf[superSelfSumOff:], crc64.Checksum(buf[:superSelfSumOff], crcTable))
 	return buf
 }
@@ -243,49 +856,6 @@ func (p *Pool) slotBase(slot int) uint64 {
 	return superSlots + uint64(slot)*p.slotBlocks()
 }
 
-// assembleLocked builds the padded metadata image from the bitmap and the
-// cached per-thin segments. Only dirty segments have been re-marshaled by
-// the caller; the rest are reused byte-for-byte. When prevBM (the previous
-// image's bitmap region) is given, the bitmap region is copied from it and
-// only the dirty words are re-encoded; nil marshals the whole live bitmap.
-func (p *Pool) assembleLocked(prevBM []byte) ([]byte, error) {
-	ids := make([]int, 0, len(p.thins))
-	size := p.bmLen()
-	for id := range p.thins {
-		ids = append(ids, id)
-		size += len(p.segs[id])
-	}
-	sort.Ints(ids)
-
-	bs := p.meta.BlockSize()
-	padded := (size + bs - 1) / bs * bs
-	if uint64(padded/bs) > p.slotBlocks() {
-		return nil, fmt.Errorf("%w: metadata image %d bytes", ErrMetaSpace, padded)
-	}
-	buf := make([]byte, padded)
-	off := 0
-	if prevBM != nil {
-		region := buf[off : off+p.bmLen()]
-		copy(region, prevBM)
-		for w := range p.dirtyBM {
-			putUint64(region[w*8:], p.bm.words[w])
-		}
-		off += p.bmLen()
-	} else {
-		n, err := p.bm.MarshalTo(buf[off:])
-		if err != nil {
-			// The buffer is sized from bmLen above; failure is impossible.
-			panic("thinp: bitmap marshal sizing: " + err.Error())
-		}
-		off += n
-	}
-
-	for _, id := range ids {
-		off += copy(buf[off:], p.segs[id])
-	}
-	return buf, nil
-}
-
 // thinHeaderLen is the fixed per-thin segment header: id u32 | virtBlocks
 // u64 | mapCount u64, followed by 16-byte (vblock, pblock) entries sorted
 // by vblock.
@@ -295,87 +865,22 @@ const thinHeaderLen = 4 + 8 + 8
 func putThinHeader(buf []byte, tm *thinMeta) {
 	putUint32(buf, uint32(tm.id))
 	putUint64(buf[4:], tm.virtBlocks)
-	putUint64(buf[12:], uint64(len(tm.mapping)))
+	putUint64(buf[12:], tm.pt.count)
 }
 
-// marshalThinFull serializes one thin device's metadata segment from
-// scratch, sorting the whole mapping, and resets the delta bookkeeping so
-// subsequent commits can splice.
-func marshalThinFull(tm *thinMeta) []byte {
-	vbs := make([]uint64, 0, len(tm.mapping))
-	for vb := range tm.mapping {
-		vbs = append(vbs, vb)
-	}
-	sort.Slice(vbs, func(i, j int) bool { return vbs[i] < vbs[j] })
-	buf := make([]byte, thinHeaderLen+16*len(vbs))
-	putThinHeader(buf, tm)
+// marshalThinTo serializes tm's metadata segment into dst — the page table
+// walks entries in vblock order, so no sort is needed — and returns the
+// segment length.
+func marshalThinTo(dst []byte, tm *thinMeta) int {
+	putThinHeader(dst, tm)
 	off := thinHeaderLen
-	for _, vb := range vbs {
-		putUint64(buf[off:], vb)
-		putUint64(buf[off+8:], tm.mapping[vb])
+	tm.pt.forEach(func(vb, pb uint64) bool {
+		putUint64(dst[off:], vb)
+		putUint64(dst[off+8:], pb)
 		off += 16
-	}
-	tm.sorted = vbs
-	clear(tm.added)
-	clear(tm.removed)
-	return buf
-}
-
-// marshalThinDelta rebuilds tm's segment from the previous marshal by
-// merging the added entries in and splicing the removed ones out. Unchanged
-// entries are block-copied from the old segment, so the cost is one memcpy
-// pass plus O(d log d) for the delta — no full re-sort, no per-entry
-// re-encode of a large cold mapping.
-func marshalThinDelta(tm *thinMeta, old []byte) []byte {
-	if old == nil {
-		return marshalThinFull(tm)
-	}
-	add := make([]uint64, 0, len(tm.added))
-	for vb := range tm.added {
-		add = append(add, vb)
-	}
-	sort.Slice(add, func(i, j int) bool { return add[i] < add[j] })
-
-	buf := make([]byte, thinHeaderLen+16*len(tm.mapping))
-	putThinHeader(buf, tm)
-	newSorted := make([]uint64, 0, len(tm.mapping))
-
-	w := thinHeaderLen // write offset into buf
-	oi, ai := 0, 0     // indexes into tm.sorted and add
-	runStart := 0      // first old index of the pending copy run
-	flushRun := func(end int) {
-		if end > runStart {
-			w += copy(buf[w:], old[thinHeaderLen+16*runStart:thinHeaderLen+16*end])
-		}
-		runStart = end
-	}
-	for oi < len(tm.sorted) || ai < len(add) {
-		if oi < len(tm.sorted) && (ai >= len(add) || tm.sorted[oi] <= add[ai]) {
-			vb := tm.sorted[oi]
-			if _, gone := tm.removed[vb]; gone {
-				flushRun(oi)
-				runStart = oi + 1
-			} else {
-				newSorted = append(newSorted, vb)
-			}
-			oi++
-			continue
-		}
-		flushRun(oi)
-		runStart = oi
-		vb := add[ai]
-		putUint64(buf[w:], vb)
-		putUint64(buf[w+8:], tm.mapping[vb])
-		w += 16
-		newSorted = append(newSorted, vb)
-		ai++
-	}
-	flushRun(oi)
-
-	tm.sorted = newSorted
-	clear(tm.added)
-	clear(tm.removed)
-	return buf
+		return true
+	})
+	return off
 }
 
 // superCandidate is one slot's superblock as read during load, after its
@@ -472,7 +977,15 @@ func (p *Pool) load() error {
 		}
 		p.txID = c.txID
 		p.active = c.slot
-		p.slotImages[c.slot] = raw
+		// The loaded image primes the arena: the loaded slot matches it
+		// byte for byte, the other slot's content is unknown and stays
+		// fully pending (set in newPool).
+		p.image = raw
+		p.pending[c.slot].clearAll()
+		all := newMetaDirty(uint64(len(raw) / bs))
+		all.setAll()
+		p.refreshSumsLocked(all)
+		p.structDirty = false
 		p.recovery = Recovery{Slot: c.slot, TxID: c.txID}
 		loaded = true
 	}
@@ -500,7 +1013,8 @@ func allZero(b []byte) bool {
 }
 
 // parseImage decodes an image (bitmap + thin segments) into the pool's
-// in-memory state.
+// in-memory state, recording each segment's arena position so the
+// in-place commit can patch it.
 func (p *Pool) parseImage(raw []byte, thinCount int) error {
 	bm, err := UnmarshalBitmap(p.data.NumBlocks(), raw)
 	if err != nil {
@@ -509,10 +1023,12 @@ func (p *Pool) parseImage(raw []byte, thinCount int) error {
 	off := bm.MarshaledLen()
 
 	thins := make(map[int]*thinMeta, thinCount)
+	segIDs := make([]int, 0, thinCount)
 	for i := 0; i < thinCount; i++ {
 		if off+thinHeaderLen > len(raw) {
 			return fmt.Errorf("%w: truncated thin header", ErrCorruptMeta)
 		}
+		segStart := off
 		id := int(getUint32(raw[off:]))
 		off += 4
 		virt := getUint64(raw[off:])
@@ -522,21 +1038,31 @@ func (p *Pool) parseImage(raw []byte, thinCount int) error {
 		if count > uint64(len(raw)-off)/16 {
 			return fmt.Errorf("%w: truncated mapping table for thin %d", ErrCorruptMeta, id)
 		}
+		if _, dup := thins[id]; dup {
+			return fmt.Errorf("%w: duplicate thin %d", ErrCorruptMeta, id)
+		}
 		tm := newThinMeta(id, virt)
-		tm.mapping = make(map[uint64]uint64, count)
-		tm.sorted = make([]uint64, 0, count)
+		havePrev := false
+		var prev uint64
 		for j := uint64(0); j < count; j++ {
 			vb := getUint64(raw[off:])
 			off += 8
 			pb := getUint64(raw[off:])
 			off += 8
-			tm.mapping[vb] = pb
-			tm.sorted = append(tm.sorted, vb)
+			if vb >= virt || pb == ptUnmapped || (havePrev && vb <= prev) {
+				return fmt.Errorf("%w: invalid mapping table for thin %d", ErrCorruptMeta, id)
+			}
+			tm.pt.set(vb, pb)
+			havePrev, prev = true, vb
 		}
+		tm.segOff = segStart
+		tm.segLen = off - segStart
 		thins[id] = tm
+		segIDs = append(segIDs, id)
 	}
 	p.bm = bm
 	p.thins = thins
+	p.segIDs = segIDs
 	return nil
 }
 

@@ -1,0 +1,118 @@
+package thinp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPageTableAgainstMapModel drives random set/delete traffic through the
+// page table and a reference map, checking lookups, count, rank, ordered
+// iteration and selectUnmapped against brute force at every step boundary.
+func TestPageTableAgainstMapModel(t *testing.T) {
+	const virt = 3*ptLeafSize + 37 // partial final leaf
+	pt := newPageTable(virt)
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(42))
+
+	check := func() {
+		t.Helper()
+		if pt.count != uint64(len(model)) {
+			t.Fatalf("count = %d, want %d", pt.count, len(model))
+		}
+		// Lookups and rank at a sample of positions.
+		var rank uint64
+		var ordered []uint64
+		for vb := uint64(0); vb < virt; vb++ {
+			pb, ok := pt.get(vb)
+			wpb, wok := model[vb]
+			if ok != wok || (ok && pb != wpb) {
+				t.Fatalf("get(%d) = %d,%v want %d,%v", vb, pb, ok, wpb, wok)
+			}
+			if vb%31 == 0 {
+				if got := pt.rank(vb); got != rank {
+					t.Fatalf("rank(%d) = %d, want %d", vb, got, rank)
+				}
+			}
+			if ok {
+				rank++
+				ordered = append(ordered, vb)
+			}
+		}
+		// Ordered iteration.
+		var walked []uint64
+		pt.forEach(func(vb, pb uint64) bool {
+			if model[vb] != pb {
+				t.Fatalf("forEach(%d) = %d, want %d", vb, pb, model[vb])
+			}
+			walked = append(walked, vb)
+			return true
+		})
+		if len(walked) != len(ordered) {
+			t.Fatalf("forEach visited %d entries, want %d", len(walked), len(ordered))
+		}
+		for i := range walked {
+			if walked[i] != ordered[i] {
+				t.Fatalf("forEach order diverges at %d: %d != %d", i, walked[i], ordered[i])
+			}
+		}
+		// selectUnmapped against the brute-force free list.
+		var free []uint64
+		for vb := uint64(0); vb < virt; vb++ {
+			if _, ok := model[vb]; !ok {
+				free = append(free, vb)
+			}
+		}
+		for _, r := range []uint64{0, 1, uint64(len(free)) / 2, uint64(len(free)) - 1} {
+			if int(r) >= len(free) {
+				continue
+			}
+			got, ok := pt.selectUnmapped(r)
+			if !ok || got != free[r] {
+				t.Fatalf("selectUnmapped(%d) = %d,%v want %d", r, got, ok, free[r])
+			}
+		}
+		if _, ok := pt.selectUnmapped(uint64(len(free))); ok {
+			t.Fatal("selectUnmapped past the free count succeeded")
+		}
+	}
+
+	check()
+	for step := 0; step < 40; step++ {
+		for i := 0; i < 200; i++ {
+			vb := uint64(rng.Intn(virt))
+			if rng.Intn(3) == 0 {
+				deleted := pt.delete(vb)
+				_, had := model[vb]
+				if deleted != had {
+					t.Fatalf("delete(%d) = %v, want %v", vb, deleted, had)
+				}
+				delete(model, vb)
+			} else {
+				pb := uint64(rng.Intn(1 << 20))
+				pt.set(vb, pb)
+				model[vb] = pb
+			}
+		}
+		if step%8 == 0 {
+			check()
+		}
+	}
+	check()
+
+	// Fill the table completely: selectUnmapped must report exhaustion.
+	for vb := uint64(0); vb < virt; vb++ {
+		pt.set(vb, vb)
+	}
+	if pt.count != virt {
+		t.Fatalf("full count = %d, want %d", pt.count, virt)
+	}
+	if _, ok := pt.selectUnmapped(0); ok {
+		t.Fatal("selectUnmapped on a full table succeeded")
+	}
+	// Free exactly one block near the end; it must be selectable.
+	pt.delete(virt - 2)
+	got, ok := pt.selectUnmapped(0)
+	if !ok || got != virt-2 {
+		t.Fatalf("selectUnmapped(0) = %d,%v want %d", got, ok, virt-2)
+	}
+}

@@ -89,16 +89,21 @@ func (o *Options) fill() {
 type thinMeta struct {
 	id         int
 	virtBlocks uint64
-	mapping    map[uint64]uint64 // virtual block -> physical block
+	// pt maps virtual to physical blocks — a dense page table, so the
+	// per-block hot path is array indexing and marshaling walks entries in
+	// vblock order without sorting.
+	pt *pageTable
 
-	// Delta bookkeeping for the incremental metadata commit. sorted holds
-	// the virtual blocks of the last marshaled segment in ascending order;
-	// added and removed record mapping entries that appeared/disappeared
-	// since, so the segment can be re-marshaled by splicing around the
-	// changed entries instead of re-sorting and re-encoding every mapping.
-	sorted  []uint64
+	// Delta bookkeeping for the flat-cost metadata commit. added and
+	// removed record mapping entries that appeared/disappeared since the
+	// last commit; an entry in both was discarded and re-provisioned — same
+	// segment position, new physical block — which commits as an in-place
+	// patch. segOff/segLen locate the thin's marshaled segment inside the
+	// pool's metadata image arena.
 	added   map[uint64]struct{}
 	removed map[uint64]struct{}
+	segOff  int
+	segLen  int
 }
 
 // newThinMeta returns an empty record for a thin of the given geometry.
@@ -106,11 +111,17 @@ func newThinMeta(id int, virtBlocks uint64) *thinMeta {
 	return &thinMeta{
 		id:         id,
 		virtBlocks: virtBlocks,
-		mapping:    make(map[uint64]uint64),
+		pt:         newPageTable(virtBlocks),
 		added:      make(map[uint64]struct{}),
 		removed:    make(map[uint64]struct{}),
 	}
 }
+
+// mapSet maps vb to pb.
+func (tm *thinMeta) mapSet(vb, pb uint64) { tm.pt.set(vb, pb) }
+
+// mapDelete unmaps vb, reporting whether it was mapped.
+func (tm *thinMeta) mapDelete(vb uint64) bool { return tm.pt.delete(vb) }
 
 // noteMapped records that vb was mapped since the last segment marshal.
 func (tm *thinMeta) noteMapped(vb uint64) {
@@ -155,17 +166,28 @@ type Pool struct {
 	txFree  map[uint64]struct{}
 	allocBM *Bitmap
 
-	// Incremental-commit state. active names the metadata slot holding the
-	// last committed image and slotImages caches each slot's on-disk
-	// content; segs holds the marshaled per-thin segments the active image
-	// was assembled from. dirtyThins and dirtyBM record which thins and
-	// bitmap words changed since the last commit, so Commit can rewrite
-	// only the metadata blocks whose bytes actually moved. structDirty
-	// forces a full rebuild (thin created/deleted, or caches not yet
-	// primed). recovery records the A/B slot selection of the last load.
+	// Flat-cost commit state. image is the assembled metadata image as a
+	// persistent mutable arena: commits apply dirty bitmap words and
+	// per-thin segment deltas in place instead of reassembling it, and
+	// derive the changed meta-block set analytically. segIDs orders the
+	// per-thin segments inside the arena; blockSums caches one CRC64 per
+	// image block so the superblock's image checksum folds in O(blocks)
+	// instead of re-hashing the whole image. pending[slot] tracks the meta
+	// blocks of each A/B slot whose on-disk bytes have diverged from the
+	// arena since that slot was last written — the replacement for the
+	// whole-image byte diff. active names the slot holding the last
+	// committed image; structDirty forces a full arena rebuild (thin
+	// created/deleted); recovery records the A/B slot selection of the
+	// last load.
 	active      int
-	slotImages  [2][]byte
-	segs        map[int][]byte
+	image       []byte
+	segIDs      []int
+	blockSums   []uint64
+	crcFold     *crcBlockFolder
+	pending     [2]*metaDirty
+	changed     *metaDirty
+	scratch     []byte
+	superBuf    []byte
 	dirtyThins  map[int]struct{}
 	dirtyBM     map[uint64]struct{}
 	structDirty bool
@@ -176,27 +198,41 @@ type Pool struct {
 	dummyBlocksWritten uint64
 }
 
+// newPool builds the shell shared by CreatePool and OpenPool.
+func newPool(data, meta storage.Device, opts Options) *Pool {
+	p := &Pool{
+		data:        data,
+		meta:        meta,
+		opts:        opts,
+		thins:       make(map[int]*thinMeta),
+		txAlloc:     make(map[uint64]struct{}),
+		txFree:      make(map[uint64]struct{}),
+		dirtyThins:  make(map[int]struct{}),
+		dirtyBM:     make(map[uint64]struct{}),
+		structDirty: true,
+	}
+	slots := p.slotBlocks()
+	p.pending[0] = newMetaDirty(slots)
+	p.pending[1] = newMetaDirty(slots)
+	p.changed = newMetaDirty(slots)
+	// Until a slot is first written this session, its content is unknown
+	// relative to the arena.
+	p.pending[0].setAll()
+	p.pending[1].setAll()
+	p.crcFold = newCRCBlockFolder(meta.BlockSize())
+	return p
+}
+
 // CreatePool formats meta and returns a fresh pool over data. Any previous
 // metadata on the device is destroyed.
 func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 	opts.fill()
-	p := &Pool{
-		data:        data,
-		meta:        meta,
-		bm:          NewBitmap(data.NumBlocks()),
-		allocBM:     NewBitmap(data.NumBlocks()),
-		thins:       make(map[int]*thinMeta),
-		opts:        opts,
-		txAlloc:     make(map[uint64]struct{}),
-		txFree:      make(map[uint64]struct{}),
-		segs:        make(map[int][]byte),
-		dirtyThins:  make(map[int]struct{}),
-		dirtyBM:     make(map[uint64]struct{}),
-		structDirty: true,
-		// Start with slot 1 nominally active so the format commit below
-		// lands transaction 1 in slot 0.
-		active: 1,
-	}
+	p := newPool(data, meta, opts)
+	p.bm = NewBitmap(data.NumBlocks())
+	p.allocBM = NewBitmap(data.NumBlocks())
+	// Start with slot 1 nominally active so the format commit below lands
+	// transaction 1 in slot 0.
+	p.active = 1
 	if err := p.checkMetaCapacity(); err != nil {
 		return nil, err
 	}
@@ -218,17 +254,7 @@ func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 // OpenPool loads an existing pool from its devices.
 func OpenPool(data, meta storage.Device, opts Options) (*Pool, error) {
 	opts.fill()
-	p := &Pool{
-		data:        data,
-		meta:        meta,
-		opts:        opts,
-		txAlloc:     make(map[uint64]struct{}),
-		txFree:      make(map[uint64]struct{}),
-		segs:        make(map[int][]byte),
-		dirtyThins:  make(map[int]struct{}),
-		dirtyBM:     make(map[uint64]struct{}),
-		structDirty: true,
-	}
+	p := newPool(data, meta, opts)
 	if err := p.load(); err != nil {
 		return nil, err
 	}
@@ -344,13 +370,15 @@ func (p *Pool) DeleteThin(id int) error {
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
-	for _, pb := range tm.mapping {
-		if err := p.releaseLocked(pb); err != nil {
-			return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
-		}
+	var relErr error
+	tm.pt.forEach(func(_, pb uint64) bool {
+		relErr = p.releaseLocked(pb)
+		return relErr == nil
+	})
+	if relErr != nil {
+		return fmt.Errorf("thinp: freeing blocks of thin %d: %w", id, relErr)
 	}
 	delete(p.thins, id)
-	delete(p.segs, id)
 	delete(p.dirtyThins, id)
 	p.structDirty = true
 	return nil
@@ -386,7 +414,7 @@ func (p *Pool) MappedBlocks(id int) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
-	return uint64(len(tm.mapping)), nil
+	return tm.pt.count, nil
 }
 
 // MappedVBlocks returns the sorted virtual block numbers provisioned for
@@ -398,11 +426,11 @@ func (p *Pool) MappedVBlocks(id int) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
-	out := make([]uint64, 0, len(tm.mapping))
-	for vb := range tm.mapping {
+	out := make([]uint64, 0, tm.pt.count)
+	tm.pt.forEach(func(vb, _ uint64) bool {
 		out = append(out, vb)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return true
+	})
 	return out, nil
 }
 
@@ -421,17 +449,25 @@ func (p *Pool) CheckIntegrity() error {
 	defer p.mu.Unlock()
 	owner := make(map[uint64]int, p.bm.Allocated())
 	for id, tm := range p.thins {
-		for vb, pb := range tm.mapping {
+		var vErr error
+		tm.pt.forEach(func(vb, pb uint64) bool {
 			if prev, dup := owner[pb]; dup {
-				return fmt.Errorf("thinp: block %d owned by thin %d and %d", pb, prev, id)
+				vErr = fmt.Errorf("thinp: block %d owned by thin %d and %d", pb, prev, id)
+				return false
 			}
 			owner[pb] = id
 			if !p.bm.IsAllocated(pb) {
-				return fmt.Errorf("thinp: thin %d maps vblock %d to free block %d", id, vb, pb)
+				vErr = fmt.Errorf("thinp: thin %d maps vblock %d to free block %d", id, vb, pb)
+				return false
 			}
 			if vb >= tm.virtBlocks {
-				return fmt.Errorf("thinp: thin %d maps out-of-range vblock %d", id, vb)
+				vErr = fmt.Errorf("thinp: thin %d maps out-of-range vblock %d", id, vb)
+				return false
 			}
+			return true
+		})
+		if vErr != nil {
+			return vErr
 		}
 	}
 	if uint64(len(owner)) != p.bm.Allocated() {
@@ -451,10 +487,11 @@ func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
-	out := make([]uint64, 0, len(tm.mapping))
-	for _, pb := range tm.mapping {
+	out := make([]uint64, 0, tm.pt.count)
+	tm.pt.forEach(func(_, pb uint64) bool {
 		out = append(out, pb)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
@@ -520,7 +557,7 @@ func (p *Pool) provisionLocked(tm *thinMeta, vblock uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	tm.mapping[vblock] = pb
+	tm.mapSet(vblock, pb)
 	tm.noteMapped(vblock)
 	p.markThinDirty(tm.id)
 	if p.opts.Policy != nil {
@@ -550,7 +587,7 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 	noise := make([]byte, p.data.BlockSize())
 	var burst *xcrypto.NoiseStream
 	for i := 0; i < count; i++ {
-		if uint64(len(tm.mapping)) >= tm.virtBlocks || p.bm.Free() == 0 {
+		if tm.pt.count >= tm.virtBlocks || p.bm.Free() == 0 {
 			// Target volume or pool is full; a real deployment relies on
 			// garbage collection to make room (Sec. IV-D). Stop quietly —
 			// dummy writes are best-effort obfuscation.
@@ -564,7 +601,7 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 		if err != nil {
 			return nil // pool filled up mid-write; same best-effort rule
 		}
-		tm.mapping[vb] = pb
+		tm.mapSet(vb, pb)
 		tm.noteMapped(vb)
 		p.markThinDirty(tm.id)
 		if burst == nil {
@@ -593,35 +630,31 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 }
 
 // randomUnmappedVBlock picks a uniformly random unmapped virtual block of
-// tm. It samples up to 64 times, then falls back to a linear scan from a
-// random start so it terminates on dense volumes.
+// tm. It samples up to 64 times; on dense volumes, where sampling keeps
+// hitting mapped blocks, it draws one rank over the unmapped population and
+// selects it through the page table's occupancy counts — O(log leaves), so
+// late dummy writes on large, nearly-full volumes cost the same as early
+// ones instead of degrading toward a full scan.
 func (p *Pool) randomUnmappedVBlock(tm *thinMeta) (uint64, bool) {
-	if uint64(len(tm.mapping)) >= tm.virtBlocks {
+	if tm.pt.count >= tm.virtBlocks {
 		return 0, false
 	}
 	for i := 0; i < 64; i++ {
 		vb := p.opts.DummySrc.Uint64n(tm.virtBlocks)
-		if _, mapped := tm.mapping[vb]; !mapped {
+		if !tm.pt.mapped(vb) {
 			return vb, true
 		}
 	}
-	start := p.opts.DummySrc.Uint64n(tm.virtBlocks)
-	for off := uint64(0); off < tm.virtBlocks; off++ {
-		vb := (start + off) % tm.virtBlocks
-		if _, mapped := tm.mapping[vb]; !mapped {
-			return vb, true
-		}
-	}
-	return 0, false
+	return tm.pt.selectUnmapped(p.opts.DummySrc.Uint64n(tm.virtBlocks - tm.pt.count))
 }
 
 // discardLocked unmaps (thin, vblock) and frees its physical block.
 func (p *Pool) discardLocked(tm *thinMeta, vblock uint64) error {
-	pb, ok := tm.mapping[vblock]
+	pb, ok := tm.pt.get(vblock)
 	if !ok {
 		return nil // discard of an unprovisioned block is a no-op
 	}
-	delete(tm.mapping, vblock)
+	tm.mapDelete(vblock)
 	tm.noteUnmapped(vblock)
 	if err := p.releaseLocked(pb); err != nil {
 		return fmt.Errorf("thinp: freeing block %d: %w", pb, err)

@@ -554,19 +554,20 @@ func TestPropertyNoDoubleAllocation(t *testing.T) {
 		for _, id := range p.ThinIDs() {
 			p.mu.Lock()
 			tm := p.thins[id]
-			for _, pb := range tm.mapping {
-				if seen[pb] {
-					p.mu.Unlock()
+			ok := true
+			tm.pt.forEach(func(_, pb uint64) bool {
+				if seen[pb] || !p.bm.IsAllocated(pb) {
+					ok = false
 					return false
 				}
 				seen[pb] = true
-				if !p.bm.IsAllocated(pb) {
-					p.mu.Unlock()
-					return false
-				}
 				total++
-			}
+				return true
+			})
 			p.mu.Unlock()
+			if !ok {
+				return false
+			}
 		}
 		return uint64(total) == p.AllocatedBlocks()
 	}

@@ -51,7 +51,7 @@ func (t *Thin) ReadBlock(idx uint64, dst []byte) error {
 		t.pool.mu.Unlock()
 		return storage.ErrBadBuffer
 	}
-	pb, mapped := tm.mapping[idx]
+	pb, mapped := tm.pt.get(idx)
 	meter := t.pool.opts.Meter
 	t.pool.mu.Unlock()
 
@@ -59,9 +59,7 @@ func (t *Thin) ReadBlock(idx uint64, dst []byte) error {
 		meter.ChargeTraversalRead()
 	}
 	if !mapped {
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 		return nil
 	}
 	return t.pool.data.ReadBlock(pb, dst)
@@ -83,7 +81,7 @@ func (t *Thin) WriteBlock(idx uint64, src []byte) error {
 		t.pool.mu.Unlock()
 		return storage.ErrBadBuffer
 	}
-	pb, mapped := tm.mapping[idx]
+	pb, mapped := tm.pt.get(idx)
 	if !mapped {
 		var err error
 		pb, err = t.pool.provisionLocked(tm, idx)
@@ -162,10 +160,11 @@ func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
 		return err
 	}
 	exts := extArr[:0]
-	for i := uint64(0); i < n; i++ {
-		pb, mapped := tm.mapping[start+i]
+	// The page table resolves the whole range with one sequential leaf
+	// walk instead of n independent lookups.
+	tm.pt.walkRange(start, n, func(_ uint64, pb uint64, mapped bool) {
 		exts = appendRun(exts, pb, !mapped)
-	}
+	})
 	meter := t.pool.opts.Meter
 	t.pool.mu.Unlock()
 
@@ -181,9 +180,7 @@ func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
 		buf := dst[off : off+span]
 		switch {
 		case e.hole:
-			for i := range buf {
-				buf[i] = 0
-			}
+			clear(buf)
 		case e.count == 1:
 			if err := t.pool.data.ReadBlock(e.phys, buf); err != nil {
 				return err
@@ -214,7 +211,7 @@ func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 	exts := extArr[:0]
 	var fresh []uint64 // vblocks provisioned by this request
 	for i := uint64(0); i < n; i++ {
-		pb, mapped := tm.mapping[start+i]
+		pb, mapped := tm.pt.get(start + i)
 		if !mapped {
 			pb, err = t.pool.provisionLocked(tm, start+i)
 			if err != nil {
