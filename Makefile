@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench-smoke bench-json
+.PHONY: test race bench-smoke bench-json bench-pr4
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -17,3 +17,8 @@ bench-smoke:
 # BENCH_PR3.json for the committed baseline/post pairs).
 bench-json:
 	./cmd/experiments/bench_pr3.sh
+
+# Concurrency benchmark set: group-commit folding, concurrent writers,
+# volume service (see BENCH_PR4.json).
+bench-pr4:
+	./cmd/experiments/bench_pr4.sh

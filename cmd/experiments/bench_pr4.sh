@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench_pr4.sh — run the concurrency benchmark set and emit the results as
+# JSON on stdout (the format committed in BENCH_PR4.json).
+#
+#   ./cmd/experiments/bench_pr4.sh > /tmp/bench.json
+#   BENCHTIME=200x ./cmd/experiments/bench_pr4.sh     # quicker smoke run
+#
+# The set covers the numbers the README concurrency section tracks:
+# concurrent commit-per-write writers with the commits/flip group-commit
+# fold ratio (zero-latency and modeled-sync-latency devices), and the
+# end-to-end volume service (async scheduler vs the direct synchronous
+# path), plus the Fig. 4 stack throughputs as the serial-path regression
+# guard (*_virt reproduction metrics included).
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-1000x}"
+
+{
+	go test -run XXX -bench 'BenchmarkConcurrentWriters' -benchtime "$BENCHTIME" ./internal/thinp/
+	go test -run XXX -bench 'BenchmarkVolumeService' -benchtime "$BENCHTIME" ./internal/ioq/
+	go test -run XXX -bench 'BenchmarkFig4' -benchtime "$BENCHTIME" .
+} | go run ./cmd/experiments/benchjson

@@ -4,8 +4,10 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync"
 
 	"mobiceal/internal/dm"
+	"mobiceal/internal/ioq"
 	"mobiceal/internal/prng"
 	"mobiceal/internal/storage"
 	"mobiceal/internal/thinp"
@@ -55,6 +57,10 @@ type Config struct {
 	// stored_rand refreshes, standing in for the prototype's one-hour
 	// jiffies capture at simulation scale. Default 256.
 	PolicyRefreshEvery int
+	// AsyncWorkers is the worker count of the system's I/O scheduler
+	// (Volume.SubmitRead/SubmitWrite/Flush). 0 selects the scheduler's
+	// default (max(2, GOMAXPROCS)).
+	AsyncWorkers int
 }
 
 func (c *Config) fill() error {
@@ -111,6 +117,11 @@ type System struct {
 	footer *xcrypto.Footer
 	pool   *thinp.Pool
 	policy *StoredRandPolicy
+
+	// asyncOnce lazily starts the shared I/O scheduler behind the
+	// volumes' Submit*/Flush API (see async.go).
+	asyncOnce sync.Once
+	sched     *ioq.Scheduler
 
 	metaBlocks uint64
 	dataBlocks uint64

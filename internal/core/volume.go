@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mobiceal/internal/dm"
+	"mobiceal/internal/ioq"
 	"mobiceal/internal/minifs"
 	"mobiceal/internal/storage"
 )
@@ -32,12 +34,17 @@ func (m Mode) String() string {
 }
 
 // Volume is an opened, decrypted view of one virtual volume. Its Device is
-// the plaintext block device a file system mounts on.
+// the plaintext block device a file system mounts on. The Submit*/Flush
+// methods (async.go) provide the asynchronous, thread-safe path into the
+// same view.
 type Volume struct {
 	sys  *System
 	id   int
 	mode Mode
 	dev  storage.Device
+
+	qOnce sync.Once
+	q     *ioq.VolumeQueue
 }
 
 // ID returns the thin id backing this volume (V1 for public).

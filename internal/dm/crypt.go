@@ -2,7 +2,6 @@ package dm
 
 import (
 	"fmt"
-	"sync"
 
 	"mobiceal/internal/storage"
 	"mobiceal/internal/vclock"
@@ -20,7 +19,7 @@ type Crypt struct {
 	meter  *vclock.Meter
 	// scratch holds reusable ciphertext buffers (the target's mempool in
 	// kernel terms), so the write path does not allocate per request.
-	scratch sync.Pool
+	scratch storage.BufPool
 }
 
 var _ storage.RangeDevice = (*Crypt)(nil)
@@ -31,16 +30,6 @@ var _ storage.RangeDevice = (*Crypt)(nil)
 func NewCrypt(inner storage.Device, cipher xcrypto.SectorCipher, meter *vclock.Meter) *Crypt {
 	return &Crypt{inner: inner, cipher: cipher, meter: meter}
 }
-
-// getScratch returns a reusable buffer of at least n bytes, sliced to n.
-func (c *Crypt) getScratch(n int) []byte {
-	if b, ok := c.scratch.Get().(*[]byte); ok && cap(*b) >= n {
-		return (*b)[:n]
-	}
-	return make([]byte, n)
-}
-
-func (c *Crypt) putScratch(b []byte) { c.scratch.Put(&b) }
 
 // BlockSize implements storage.Device.
 func (c *Crypt) BlockSize() int { return c.inner.BlockSize() }
@@ -66,8 +55,8 @@ func (c *Crypt) ReadBlock(idx uint64, dst []byte) error {
 // WriteBlock implements storage.Device: encrypt into a scratch buffer, then
 // write ciphertext. The caller's buffer is never modified.
 func (c *Crypt) WriteBlock(idx uint64, src []byte) error {
-	ct := c.getScratch(len(src))
-	defer c.putScratch(ct)
+	ct := c.scratch.Get(len(src))
+	defer c.scratch.Put(ct)
 	if err := c.cipher.EncryptSector(idx, ct, src); err != nil {
 		return fmt.Errorf("dm: encrypting block %d: %w", idx, err)
 	}
@@ -117,8 +106,8 @@ func (c *Crypt) WriteBlocks(start uint64, src []byte) error {
 	if len(src)%bs != 0 {
 		return storage.ErrBadBuffer
 	}
-	ct := c.getScratch(len(src))
-	defer c.putScratch(ct)
+	ct := c.scratch.Get(len(src))
+	defer c.scratch.Put(ct)
 	for i := 0; i*bs < len(src); i++ {
 		idx := start + uint64(i)
 		if err := c.cipher.EncryptSector(idx, ct[i*bs:(i+1)*bs], src[i*bs:(i+1)*bs]); err != nil {
@@ -135,6 +124,25 @@ func (c *Crypt) WriteBlocks(start uint64, src []byte) error {
 		}
 	}
 	return nil
+}
+
+// DiscardRange implements storage.Discarder: a discard carries no data to
+// encrypt, so it passes straight through to the inner device (dm-crypt
+// likewise forwards discards when allow_discards is set). The security
+// note from the kernel applies here too — discard patterns are visible to
+// an adversary below the crypt layer — which is exactly MobiCeal's threat
+// model: block-level allocation state is public, and deniability rests on
+// dummy writes, not on hiding discards.
+func (c *Crypt) DiscardRange(start, count uint64) error {
+	if c.meter != nil {
+		// Per-block traversal charges, like the read/write paths: the
+		// virtual-clock cost must not depend on how a scheduler happened
+		// to merge the range. A discard carries no payload to encrypt.
+		for i := uint64(0); i < count; i++ {
+			c.meter.ChargeTraversalWrite()
+		}
+	}
+	return storage.Discard(c.inner, start, count)
 }
 
 // Sync implements storage.Device.

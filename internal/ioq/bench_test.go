@@ -1,0 +1,110 @@
+package ioq
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mobiceal/internal/prng"
+	"mobiceal/internal/storage"
+	"mobiceal/internal/thinp"
+)
+
+// BenchmarkVolumeService measures the concurrent volume service end to
+// end: V thin volumes on one pool, each driven by its own submitter
+// goroutine issuing 4-block async writes with a durability flush every 8
+// requests. direct/1 is the synchronous baseline the async path must not
+// fall behind at GOMAXPROCS=1; the commits/flip metric shows concurrent
+// volumes' flushes folding into shared group commits.
+func BenchmarkVolumeService(b *testing.B) {
+	const (
+		virt      = 2048
+		reqBlocks = 4
+		flushEvry = 8
+	)
+	for _, mode := range []string{"direct", "ioq"} {
+		for _, volumes := range []int{1, 4} {
+			if mode == "direct" && volumes != 1 {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/volumes=%d", mode, volumes), func(b *testing.B) {
+				dataBlocks := uint64(volumes) * virt * 2
+				data := storage.NewMemDevice(blockSize, dataBlocks)
+				meta := storage.NewMemDevice(blockSize, thinp.MetaBlocksNeeded(dataBlocks, blockSize))
+				pool, err := thinp.CreatePool(data, meta, thinp.Options{
+					Entropy:  prng.NewSeededEntropy(1),
+					DummySrc: prng.NewSource(2),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				thins := make([]*thinp.Thin, volumes)
+				for v := 0; v < volumes; v++ {
+					if err := pool.CreateThin(v+1, virt); err != nil {
+						b.Fatal(err)
+					}
+					if thins[v], err = pool.Thin(v + 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				startCalls, startFlips := pool.CommitStats()
+				b.SetBytes(reqBlocks * blockSize)
+				b.ResetTimer()
+
+				if mode == "direct" {
+					thin := thins[0]
+					buf := make([]byte, reqBlocks*blockSize)
+					for i := 0; i < b.N; i++ {
+						off := uint64(i*reqBlocks) % (virt - reqBlocks)
+						if err := thin.WriteBlocks(off, buf); err != nil {
+							b.Fatal(err)
+						}
+						if i%flushEvry == flushEvry-1 {
+							if err := thin.Sync(); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				} else {
+					s := NewScheduler(Options{})
+					var next atomic.Int64
+					var wg sync.WaitGroup
+					for v := 0; v < volumes; v++ {
+						wg.Add(1)
+						go func(v int) {
+							defer wg.Done()
+							q := s.Register(thins[v])
+							buf := make([]byte, reqBlocks*blockSize)
+							var i uint64
+							for next.Add(1) <= int64(b.N) {
+								off := (i * reqBlocks) % (virt - reqBlocks)
+								i++
+								f := q.SubmitWrite(off, buf)
+								if i%flushEvry == 0 {
+									if err := q.Flush().Wait(); err != nil {
+										b.Error(err)
+										return
+									}
+								} else if err := f.Wait(); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+							if err := q.Flush().Wait(); err != nil {
+								b.Error(err)
+							}
+						}(v)
+					}
+					wg.Wait()
+					s.Close()
+				}
+				b.StopTimer()
+				calls, flips := pool.CommitStats()
+				if flips-startFlips > 0 {
+					b.ReportMetric(float64(calls-startCalls)/float64(flips-startFlips), "commits/flip")
+				}
+			})
+		}
+	}
+}

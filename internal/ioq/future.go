@@ -1,0 +1,67 @@
+package ioq
+
+import "sync"
+
+// Future is the completion handle of one submitted request. It completes
+// exactly once; Wait, Done and OnComplete may be used from any number of
+// goroutines.
+type Future struct {
+	done chan struct{}
+	err  error
+
+	mu  sync.Mutex
+	cbs []func(error)
+}
+
+func newFuture() *Future {
+	return &Future{done: make(chan struct{})}
+}
+
+// Wait blocks until the request completes and returns its error.
+func (f *Future) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Done returns a channel closed when the request completes, for use in
+// select loops. After Done is closed, Wait returns immediately.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// OnComplete registers fn to run when the request completes, with its
+// error. If the request already completed, fn runs inline; otherwise it
+// runs on the completing worker goroutine, so it must not block.
+func (f *Future) OnComplete(fn func(error)) {
+	f.mu.Lock()
+	select {
+	case <-f.done:
+		f.mu.Unlock()
+		fn(f.err)
+	default:
+		f.cbs = append(f.cbs, fn)
+		f.mu.Unlock()
+	}
+}
+
+// complete resolves the future. Must be called exactly once.
+func (f *Future) complete(err error) {
+	f.mu.Lock()
+	f.err = err
+	close(f.done)
+	cbs := f.cbs
+	f.cbs = nil
+	f.mu.Unlock()
+	for _, fn := range cbs {
+		fn(err)
+	}
+}
+
+// WaitAll waits every future and returns the first error encountered.
+func WaitAll(futures ...*Future) error {
+	var first error
+	for _, f := range futures {
+		if err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,176 @@
+// Package ioq is the concurrent block-service subsystem of the MobiCeal
+// reproduction: an asynchronous request scheduler in front of any
+// storage.Device stack.
+//
+// Callers submit read/write/discard/sync requests per volume and get a
+// Future back; a shared pool of workers drains each volume's staging
+// queue in batches, elevator-sorts the batch, coalesces runs of adjacent
+// blocks into single vectored RangeDevice operations, and completes the
+// futures. The scheduler is the userspace analogue of the kernel's
+// blk-mq: per-volume software queues feed a multi-producer/multi-consumer
+// ready list served by hardware-context-like workers, and request merging
+// recovers the bio-merge economics the synchronous path only gets when a
+// single caller happens to issue large requests.
+//
+// Ordering and durability semantics (the contract a file system above
+// this layer relies on):
+//
+//   - Requests between two barriers are unordered: the scheduler may
+//     reorder and merge them freely, exactly like an I/O scheduler.
+//     Overlapping in-flight requests to the same blocks have undefined
+//     relative order — a caller that cares must wait the earlier future
+//     before submitting the later request.
+//   - Flush is a full barrier on its volume queue: every request
+//     submitted to that queue before the Flush completes before the
+//     device Sync executes, and every request submitted after the Flush
+//     dispatches after it. A completed Flush therefore guarantees all
+//     previously submitted writes are durable — on a MobiCeal volume the
+//     Sync reaches thinp, where concurrent flushes from many volumes fold
+//     into one group commit and a single A/B slot flip.
+//   - A completed write future means the data reached the device stack
+//     (the page-cache analogue), not that it is durable; durability is
+//     what Flush is for.
+package ioq
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mobiceal/internal/storage"
+)
+
+// ErrClosed reports a submission to a closed scheduler.
+var ErrClosed = errors.New("ioq: scheduler closed")
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the number of dispatch goroutines. Workers > 1 lets
+	// different volumes dispatch in parallel and overlaps one volume's
+	// merge/CPU work with another's device latency; even at GOMAXPROCS=1
+	// extra workers keep the queue moving while one blocks in a commit.
+	// Default: max(2, GOMAXPROCS).
+	Workers int
+	// MaxBatch is the most requests one dispatch drains from a volume
+	// queue. Default 64.
+	MaxBatch int
+	// MergeBlocks caps the size, in blocks, of one coalesced device
+	// operation. Default 128.
+	MergeBlocks int
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers < 2 {
+			o.Workers = 2
+		}
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MergeBlocks <= 0 {
+		o.MergeBlocks = 128
+	}
+}
+
+// Scheduler owns the worker pool and the ready list of volume queues with
+// pending work. One scheduler serves any number of volumes; Register each
+// device once and submit through the returned VolumeQueue.
+type Scheduler struct {
+	opts Options
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  []*VolumeQueue
+	closed bool
+	live   int // workers not yet exited
+
+	wg sync.WaitGroup
+	// scratch holds reusable gather/scatter buffers for merged requests.
+	scratch storage.BufPool
+	// closedFlag mirrors closed for the lock-free submission-path check:
+	// submit must not take the scheduler-global mutex per request.
+	closedFlag atomic.Bool
+}
+
+// NewScheduler starts a scheduler with opts (zero value: defaults).
+func NewScheduler(opts Options) *Scheduler {
+	opts.fill()
+	s := &Scheduler{opts: opts, live: opts.Workers}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Register returns the submission queue for dev. Every volume (device
+// stack) gets its own queue; the queues share the scheduler's workers.
+func (s *Scheduler) Register(dev storage.Device) *VolumeQueue {
+	return &VolumeQueue{s: s, dev: dev}
+}
+
+// Close stops the scheduler: new submissions fail with ErrClosed, already
+// submitted requests are drained and completed, and the workers exit.
+// Close blocks until the drain finishes.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.closedFlag.Store(true)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+	return nil
+}
+
+// enqueue puts q on the ready list and wakes one worker. It reports false
+// when the scheduler has closed and every worker already exited — the
+// caller must fail the stranded work itself. While any worker is live the
+// enqueue is guaranteed to be drained: workers only exit under this lock,
+// with the ready list observed empty.
+func (s *Scheduler) enqueue(q *VolumeQueue) bool {
+	s.mu.Lock()
+	if s.closed && s.live == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.ready = append(s.ready, q)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return true
+}
+
+// worker pulls ready queues and dispatches one batch each, round-robin by
+// arrival order so no volume starves.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.ready) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.ready) == 0 {
+			// closed and drained
+			s.live--
+			s.mu.Unlock()
+			return
+		}
+		q := s.ready[0]
+		s.ready = s.ready[1:]
+		s.mu.Unlock()
+		q.dispatch()
+	}
+}
+
+// isClosed reports whether Close has been called, without touching the
+// scheduler-global mutex — it sits on every submission's fast path.
+func (s *Scheduler) isClosed() bool {
+	return s.closedFlag.Load()
+}

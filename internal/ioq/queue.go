@@ -1,0 +1,295 @@
+package ioq
+
+import (
+	"sort"
+	"sync"
+
+	"mobiceal/internal/storage"
+)
+
+// Op is the request kind.
+type Op uint8
+
+// Request kinds.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+	OpDiscard
+	OpSync
+)
+
+// request is one queued operation. buf is the caller's buffer (read
+// destination or write source) and stays untouched by the scheduler until
+// the request executes; count is the discard length.
+type request struct {
+	op    Op
+	start uint64
+	buf   []byte
+	count uint64
+	f     *Future
+}
+
+// blocks returns the request's length in device blocks.
+func (r *request) blocks(bs int) uint64 {
+	switch r.op {
+	case OpDiscard:
+		return r.count
+	case OpSync:
+		return 0
+	default:
+		return uint64(len(r.buf) / bs)
+	}
+}
+
+// VolumeQueue is the per-volume staging queue: submissions append under
+// the queue lock, workers drain batches. Sync requests are dispatch
+// barriers — a sync leaves the queue only when it is the oldest request
+// and nothing of this volume is in flight, and requests behind it wait
+// until it completes.
+type VolumeQueue struct {
+	s   *Scheduler
+	dev storage.Device
+
+	mu       sync.Mutex
+	pending  []*request
+	inflight int
+	// syncActive marks a barrier's Sync as in flight: nothing else of
+	// this queue may dispatch until it completes — requests submitted
+	// after a Flush must not reach the device while the barrier's Sync
+	// is still running.
+	syncActive bool
+	queued     bool
+}
+
+// SubmitRead asynchronously reads blocks [start, start+len(dst)/bs) into
+// dst. dst must stay untouched by the caller until the future completes.
+func (q *VolumeQueue) SubmitRead(start uint64, dst []byte) *Future {
+	return q.submit(&request{op: OpRead, start: start, buf: dst, f: newFuture()})
+}
+
+// SubmitWrite asynchronously writes src as blocks [start,
+// start+len(src)/bs). src must stay stable until the future completes.
+func (q *VolumeQueue) SubmitWrite(start uint64, src []byte) *Future {
+	return q.submit(&request{op: OpWrite, start: start, buf: src, f: newFuture()})
+}
+
+// SubmitDiscard asynchronously TRIMs blocks [start, start+count).
+// Devices without discard support complete it as a no-op.
+func (q *VolumeQueue) SubmitDiscard(start, count uint64) *Future {
+	return q.submit(&request{op: OpDiscard, start: start, count: count, f: newFuture()})
+}
+
+// Flush submits a sync barrier: its future completes after every request
+// submitted before it has completed and the device stack's Sync has run
+// (on a MobiCeal volume: data flushed and pool metadata group-committed).
+func (q *VolumeQueue) Flush() *Future {
+	return q.submit(&request{op: OpSync, f: newFuture()})
+}
+
+// Device returns the device stack this queue serves.
+func (q *VolumeQueue) Device() storage.Device { return q.dev }
+
+func (q *VolumeQueue) submit(r *request) *Future {
+	if q.s.isClosed() {
+		r.f.complete(ErrClosed)
+		return r.f
+	}
+	q.mu.Lock()
+	q.pending = append(q.pending, r)
+	wake := !q.queued && q.dispatchableLocked()
+	if wake {
+		q.queued = true
+	}
+	q.mu.Unlock()
+	if wake && !q.s.enqueue(q) {
+		// The scheduler closed and its workers exited between the closed
+		// check and the wake: nothing will ever drain this queue again, so
+		// fail everything still staged.
+		q.mu.Lock()
+		q.queued = false
+		rest := q.pending
+		q.pending = nil
+		q.mu.Unlock()
+		for _, p := range rest {
+			p.f.complete(ErrClosed)
+		}
+	}
+	return r.f
+}
+
+// dispatchableLocked reports whether a worker could make progress on this
+// queue right now. Caller holds q.mu.
+func (q *VolumeQueue) dispatchableLocked() bool {
+	if q.syncActive {
+		// A barrier's Sync is executing; the queue is frozen until it
+		// completes (its completion re-evaluates).
+		return false
+	}
+	if len(q.pending) == 0 {
+		return false
+	}
+	if q.pending[0].op == OpSync && q.inflight > 0 {
+		// The barrier waits for the in-flight requests to drain; their
+		// completion re-evaluates.
+		return false
+	}
+	return true
+}
+
+// dispatch drains one batch and executes it. Called by a worker; several
+// workers may dispatch different batches of the same queue concurrently
+// (the barrier rule is the only intra-volume ordering).
+func (q *VolumeQueue) dispatch() {
+	q.mu.Lock()
+	var batch []*request
+	if q.syncActive {
+		// Raced with a barrier that started after this queue was put on
+		// the ready list; its completion re-enqueues.
+	} else if len(q.pending) > 0 && q.pending[0].op == OpSync {
+		if q.inflight == 0 {
+			batch = q.pending[:1:1]
+			q.pending = q.pending[1:]
+			q.syncActive = true
+		}
+	} else {
+		n := 0
+		for n < len(q.pending) && n < q.s.opts.MaxBatch && q.pending[n].op != OpSync {
+			n++
+		}
+		batch = q.pending[:n:n]
+		q.pending = q.pending[n:]
+	}
+	q.inflight += len(batch)
+	q.queued = q.dispatchableLocked()
+	requeue := q.queued
+	q.mu.Unlock()
+	if requeue {
+		// More work is immediately dispatchable: hand the queue back so
+		// another worker can run the next batch in parallel with this one.
+		// (Enqueue cannot fail here — this worker is still live.)
+		q.s.enqueue(q)
+	}
+	if len(batch) > 0 {
+		q.run(batch)
+	}
+	q.mu.Lock()
+	q.inflight -= len(batch)
+	if len(batch) == 1 && batch[0].op == OpSync {
+		q.syncActive = false
+	}
+	wake := !q.queued && q.dispatchableLocked()
+	if wake {
+		q.queued = true
+	}
+	q.mu.Unlock()
+	if wake {
+		q.s.enqueue(q)
+	}
+}
+
+// run elevator-sorts a batch, splits it into runs of adjacent same-kind
+// requests, and executes each run as one coalesced device operation.
+func (q *VolumeQueue) run(batch []*request) {
+	if len(batch) == 1 {
+		q.exec(batch)
+		return
+	}
+	bs := q.dev.BlockSize()
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].op != batch[j].op {
+			return batch[i].op < batch[j].op
+		}
+		return batch[i].start < batch[j].start
+	})
+	for i := 0; i < len(batch); {
+		j := i + 1
+		end := batch[i].start + batch[i].blocks(bs)
+		total := batch[i].blocks(bs)
+		for j < len(batch) &&
+			batch[j].op == batch[i].op &&
+			batch[j].op != OpSync &&
+			batch[j].start == end &&
+			total+batch[j].blocks(bs) <= uint64(q.s.opts.MergeBlocks) {
+			end += batch[j].blocks(bs)
+			total += batch[j].blocks(bs)
+			j++
+		}
+		q.exec(batch[i:j])
+		i = j
+	}
+}
+
+// exec executes one run of adjacent same-kind requests as a single device
+// operation. If a coalesced operation fails, the run is re-executed
+// request by request so each future carries its own precise error.
+func (q *VolumeQueue) exec(run []*request) {
+	if len(run) == 1 {
+		r := run[0]
+		r.f.complete(q.execOne(r))
+		return
+	}
+	start := run[0].start
+	var err error
+	switch run[0].op {
+	case OpRead:
+		total := 0
+		for _, r := range run {
+			total += len(r.buf)
+		}
+		scratch := q.s.scratch.Get(total)
+		err = storage.ReadBlocks(q.dev, start, scratch)
+		if err == nil {
+			off := 0
+			for _, r := range run {
+				copy(r.buf, scratch[off:off+len(r.buf)])
+				off += len(r.buf)
+			}
+		}
+		q.s.scratch.Put(scratch)
+	case OpWrite:
+		total := 0
+		for _, r := range run {
+			total += len(r.buf)
+		}
+		scratch := q.s.scratch.Get(total)
+		off := 0
+		for _, r := range run {
+			copy(scratch[off:], r.buf)
+			off += len(r.buf)
+		}
+		err = storage.WriteBlocks(q.dev, start, scratch)
+		q.s.scratch.Put(scratch)
+	case OpDiscard:
+		var count uint64
+		for _, r := range run {
+			count += r.count
+		}
+		err = storage.Discard(q.dev, start, count)
+	}
+	if err == nil {
+		for _, r := range run {
+			r.f.complete(nil)
+		}
+		return
+	}
+	// The merged operation failed; fall back to per-request execution so
+	// each caller learns exactly what happened to its own range.
+	for _, r := range run {
+		r.f.complete(q.execOne(r))
+	}
+}
+
+// execOne executes a single request directly against the device.
+func (q *VolumeQueue) execOne(r *request) error {
+	switch r.op {
+	case OpRead:
+		return storage.ReadBlocks(q.dev, r.start, r.buf)
+	case OpWrite:
+		return storage.WriteBlocks(q.dev, r.start, r.buf)
+	case OpDiscard:
+		return storage.Discard(q.dev, r.start, r.count)
+	case OpSync:
+		return q.dev.Sync()
+	}
+	return nil
+}

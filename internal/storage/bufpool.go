@@ -1,0 +1,26 @@
+package storage
+
+import "sync"
+
+// BufPool is a reusable byte-buffer pool for I/O-path scratch space (the
+// mempool analogue): Get returns a buffer of exactly n bytes, reusing a
+// pooled allocation when one is large enough. The dm targets and the ioq
+// scheduler share this one implementation so its subtleties — capacity
+// check on reuse, pointer-wrapped Put to avoid allocating on the way into
+// the pool — stay in one place.
+type BufPool struct {
+	p sync.Pool
+}
+
+// Get returns a buffer of length n.
+func (b *BufPool) Get(n int) []byte {
+	if buf, ok := b.p.Get().(*[]byte); ok && cap(*buf) >= n {
+		return (*buf)[:n]
+	}
+	return make([]byte, n)
+}
+
+// Put returns buf to the pool for reuse.
+func (b *BufPool) Put(buf []byte) {
+	b.p.Put(&buf)
+}

@@ -59,6 +59,28 @@ func WriteBlocks(d Device, start uint64, src []byte) error {
 	return writeBlocksSlow(d, start, src)
 }
 
+// Discarder is the optional TRIM extension of Device: DiscardRange drops
+// the contents of count blocks starting at start, letting thinly
+// provisioned layers reclaim the physical space. Stacking layers
+// (SliceDevice, dm targets) forward it to their inner device so a discard
+// issued at the top of a volume stack reaches the thin pool.
+type Discarder interface {
+	// DiscardRange unmaps blocks [start, start+count). Reading a
+	// discarded block afterwards returns zeros on provisioning layers.
+	DiscardRange(start, count uint64) error
+}
+
+// Discard forwards a TRIM to d when it supports one. Devices without
+// discard support ignore it, exactly as the kernel block layer drops
+// REQ_OP_DISCARD for devices that do not advertise it — the operation is
+// advisory.
+func Discard(d Device, start, count uint64) error {
+	if dd, ok := d.(Discarder); ok {
+		return dd.DiscardRange(start, count)
+	}
+	return nil
+}
+
 // ForEachRun walks a sorted slice of block indexes and invokes fn once per
 // maximal run of consecutive indexes, with the run's first index and
 // length. Callers use it to turn block sets into vectored range operations

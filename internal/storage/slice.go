@@ -63,6 +63,16 @@ func (d *SliceDevice) WriteBlocks(start uint64, src []byte) error {
 	return WriteBlocks(d.parent, d.start+start, src)
 }
 
+// DiscardRange implements Discarder by offsetting the range into the
+// parent; a parent without discard support ignores it.
+func (d *SliceDevice) DiscardRange(start, count uint64) error {
+	if count > 0 && (start >= d.length || count > d.length-start) {
+		return fmt.Errorf("%w: blocks [%d, %d) of %d-block slice",
+			ErrOutOfRange, start, start+count, d.length)
+	}
+	return Discard(d.parent, d.start+start, count)
+}
+
 // Sync implements Device.
 func (d *SliceDevice) Sync() error { return d.parent.Sync() }
 

@@ -276,6 +276,15 @@ type Recovery struct {
 	Reason string
 }
 
+// commitBatch is one round of the group-commit door: a leader plus every
+// committer that parked while the leader was waiting its turn. The round's
+// outcome is shared — the leader's single slot flip covers all of them.
+type commitBatch struct {
+	done chan struct{}
+	err  error
+	full bool
+}
+
 // Commit persists the pool metadata transactionally: the transaction id is
 // incremented, the updated image lands in the inactive metadata slot, and
 // the slot's superblock write flips it active. Blocks allocated since the
@@ -287,25 +296,87 @@ type Recovery struct {
 // place — O(delta) for bitmap words and discard+rewrite entry updates,
 // plus the shifted suffix when a segment changes length — and only the
 // meta blocks recorded as diverged reach the device.
-func (p *Pool) Commit() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.commitLocked(false)
-}
+//
+// Concurrent commits group-commit: while one commit's device I/O is in
+// flight, later committers park at the commit door, and the first of them
+// leads a single follow-up commit whose one A/B slot flip covers every
+// parked caller's delta. N concurrent commit-per-write writers therefore
+// cost far fewer than N slot flips (CommitStats reports the fold ratio),
+// and each caller still gets full durability: its mutations
+// happened-before it parked, and the leader snapshots the delta only
+// after every parked caller joined.
+func (p *Pool) Commit() error { return p.groupCommit(false) }
 
 // CommitFull persists the pool metadata by rebuilding the image from the
 // page tables and rewriting the target slot in its entirety, bypassing the
 // incremental delta. It exists as an escape hatch (and to give tests a
 // reference image to compare the incremental path against). The commit
-// protocol — inactive slot, then superblock flip — is identical.
-func (p *Pool) CommitFull() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.commitLocked(true)
+// protocol — inactive slot, then superblock flip — is identical, and a
+// CommitFull folded into a group-commit round upgrades the whole round to
+// a full rewrite.
+func (p *Pool) CommitFull() error { return p.groupCommit(true) }
+
+// CommitStats reports how many Commit/CommitFull calls the pool has served
+// and how many successful A/B slot flips they cost (failed rounds and the
+// format commit of CreatePool are not flips). calls/flips is the group
+// commit's folding factor; serial callers see exactly 1.0.
+func (p *Pool) CommitStats() (calls, flips uint64) {
+	p.doorMu.Lock()
+	defer p.doorMu.Unlock()
+	return p.commitCalls, p.slotFlips
 }
 
-func (p *Pool) commitLocked(full bool) error {
-	p.txID++
+// groupCommit is the commit door. The first committer through becomes the
+// round's leader; committers arriving while the leader is still waiting
+// for the previous round's commitMu join the leader's batch and simply
+// wait. The leader detaches the batch only after acquiring commitMu —
+// every joiner's mutations happened-before joining, which happened-before
+// the detach, which happens-before the leader's phase-1 snapshot — so one
+// flip durably covers the whole batch.
+func (p *Pool) groupCommit(full bool) error {
+	p.doorMu.Lock()
+	p.commitCalls++
+	if b := p.batch; b != nil {
+		b.full = b.full || full
+		p.doorMu.Unlock()
+		<-b.done
+		return b.err
+	}
+	b := &commitBatch{done: make(chan struct{}), full: full}
+	p.batch = b
+	p.doorMu.Unlock()
+
+	p.commitMu.Lock()
+	p.doorMu.Lock()
+	p.batch = nil // late arrivals lead the next round
+	full = b.full
+	p.doorMu.Unlock()
+	b.err = p.commitOnce(full)
+	if b.err == nil {
+		// Count only flips that actually reached the device: a failed
+		// round leaves the active slot untouched.
+		p.doorMu.Lock()
+		p.slotFlips++
+		p.doorMu.Unlock()
+	}
+	p.commitMu.Unlock()
+	close(b.done)
+	return b.err
+}
+
+// commitOnce performs one commit round in three phases: snapshot the
+// accumulated delta into the image arena under the mapping lock, write the
+// inactive slot and its superblock with the mapping lock released (reads
+// and writes proceed during the device I/O — the arena, pending sets and
+// superblock buffer are owned by commitMu, which the caller holds), then
+// flip the active slot under the mapping lock again. The caller must hold
+// commitMu or have exclusive access to a pool under construction.
+func (p *Pool) commitOnce(full bool) error {
+	p.mu.Lock()
+	// The new transaction id is published to p.txID only at the phase-3
+	// flip: until the superblock lands, TransactionID() must keep
+	// reporting the last durable transaction, not the one in flight.
+	newTx := p.txID + 1
 	changed := p.changed
 	changed.clearAll()
 	switch {
@@ -313,6 +384,7 @@ func (p *Pool) commitLocked(full bool) error {
 		// Structural change (thin created/deleted), explicit full commit,
 		// or no arena yet: rebuild the image from the page tables.
 		if err := p.rebuildImageLocked(changed); err != nil {
+			p.mu.Unlock()
 			return err
 		}
 	case len(p.dirtyThins) == 0 && len(p.dirtyBM) == 0:
@@ -324,6 +396,7 @@ func (p *Pool) commitLocked(full bool) error {
 			// treat every block as changed.
 			changed.setAll()
 			if err := p.rebuildImageLocked(changed); err != nil {
+				p.mu.Unlock()
 				return err
 			}
 		}
@@ -336,26 +409,56 @@ func (p *Pool) commitLocked(full bool) error {
 		writeSet.setAll()
 	}
 	nBlocks := uint64(len(p.image) / p.meta.BlockSize())
-	if err := p.writeSlotLocked(target, nBlocks, writeSet); err != nil {
+	super := p.marshalSuperLocked(newTx)
+	// Detach the transaction record: this commit makes exactly these
+	// allocations and frees durable. Mutations that land while the slot
+	// I/O is in flight accumulate in fresh maps and belong to the next
+	// commit — including frees of the blocks detached here, which
+	// quarantine as frees of committed state (their mappings are durable
+	// the moment this commit's superblock lands). The detached record
+	// stays visible through inFlightAlloc: the allocations are still
+	// pending (not durable) until the flip, and PendingAllocations must
+	// say so.
+	committedAlloc := p.txAlloc
+	committedFree := p.txFree
+	p.txAlloc = make(map[uint64]struct{})
+	p.txFree = make(map[uint64]struct{})
+	p.inFlightAlloc = committedAlloc
+	p.mu.Unlock()
+
+	ioErr := p.writeSlot(target, nBlocks, writeSet, super)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inFlightAlloc = nil
+	if ioErr != nil {
 		// The target slot's on-disk content is now unknown; rewrite it
 		// wholesale next time. The active slot still diverges by this
-		// commit's arena changes.
+		// commit's arena changes, the detached transaction record folds
+		// back into the live one, and the transaction id stays put:
+		// nothing became durable. (A later retry reuses the id against
+		// the same slot, so no duplicate id can reach stable storage.)
 		writeSet.setAll()
 		p.pending[p.active].or(changed)
-		return err
+		for pb := range committedAlloc {
+			p.txAlloc[pb] = struct{}{}
+		}
+		for pb := range committedFree {
+			p.txFree[pb] = struct{}{}
+		}
+		return ioErr
 	}
 	writeSet.clearBelow(nBlocks)
 	p.pending[p.active].or(changed)
 	p.active = target
-	p.txAlloc = make(map[uint64]struct{})
+	p.txID = newTx
 	// The frees are durable now: quarantined blocks return to the
 	// allocator's view.
-	for pb := range p.txFree {
+	for pb := range committedFree {
 		if err := p.allocBM.Clear(pb); err != nil {
 			return fmt.Errorf("thinp: releasing quarantined block %d: %w", pb, err)
 		}
 	}
-	p.txFree = make(map[uint64]struct{})
 	return nil
 }
 
@@ -791,12 +894,14 @@ func sortedKeys(set map[uint64]struct{}) []uint64 {
 	return out
 }
 
-// writeSlotLocked writes the marked meta blocks of the arena into the
-// slot, in maximal runs, and seals it with the slot's superblock. The sync
-// between the image writes and the superblock write is the ordering
-// barrier the commit protocol rests on: the flip must never reach stable
-// storage before the image it points at.
-func (p *Pool) writeSlotLocked(slot int, nBlocks uint64, dirty *metaDirty) error {
+// writeSlot writes the marked meta blocks of the arena into the slot, in
+// maximal runs, and seals it with super, the slot's pre-marshaled
+// superblock. The sync between the image writes and the superblock write
+// is the ordering barrier the commit protocol rests on: the flip must
+// never reach stable storage before the image it points at. Caller holds
+// commitMu (which owns the arena and pending sets); the mapping lock is
+// not needed — concurrent mutators never touch the arena.
+func (p *Pool) writeSlot(slot int, nBlocks uint64, dirty *metaDirty, super []byte) error {
 	bs := uint64(p.meta.BlockSize())
 	base := p.slotBase(slot)
 	wrote := false
@@ -812,7 +917,7 @@ func (p *Pool) writeSlotLocked(slot int, nBlocks uint64, dirty *metaDirty) error
 			return fmt.Errorf("thinp: syncing metadata image: %w", err)
 		}
 	}
-	if err := p.meta.WriteBlock(uint64(slot), p.marshalSuperLocked()); err != nil {
+	if err := p.meta.WriteBlock(uint64(slot), super); err != nil {
 		return fmt.Errorf("thinp: writing metadata superblock %d: %w", slot, err)
 	}
 	if err := p.meta.Sync(); err != nil {
@@ -821,10 +926,10 @@ func (p *Pool) writeSlotLocked(slot int, nBlocks uint64, dirty *metaDirty) error
 	return nil
 }
 
-// marshalSuperLocked builds the superblock sealing the arena at the
-// current transaction id. The image checksum folds the cached per-block
-// sums instead of re-hashing the image. Caller holds p.mu.
-func (p *Pool) marshalSuperLocked() []byte {
+// marshalSuperLocked builds the superblock sealing the arena at
+// transaction tx. The image checksum folds the cached per-block sums
+// instead of re-hashing the image. Caller holds p.mu.
+func (p *Pool) marshalSuperLocked(tx uint64) []byte {
 	if p.superBuf == nil {
 		p.superBuf = make([]byte, p.meta.BlockSize())
 	}
@@ -834,7 +939,7 @@ func (p *Pool) marshalSuperLocked() []byte {
 	putUint32(buf[8:], superVersion)
 	putUint32(buf[12:], uint32(p.data.BlockSize()))
 	putUint64(buf[16:], p.data.NumBlocks())
-	putUint64(buf[superTxOff:], p.txID)
+	putUint64(buf[superTxOff:], tx)
 	putUint32(buf[superCountOff:], uint32(len(p.thins)))
 	putUint64(buf[superImgLenOff:], uint64(len(p.image)))
 	putUint64(buf[superImgSumOff:], p.crcFold.fold(p.blockSums))
@@ -969,7 +1074,13 @@ func (p *Pool) load() error {
 			continue
 		}
 		if loaded {
-			continue // an older, consistent slot: the normal A/B steady state
+			// An older, consistent slot: the normal A/B steady state. Its
+			// image is already in hand — prime its pending set with just
+			// the blocks that diverge from the loaded arena, so the first
+			// post-mount commit landing in it writes only the genuine
+			// inter-slot delta instead of rewriting the whole slot.
+			p.primePendingFrom(c.slot, raw)
+			continue
 		}
 		if err := p.parseImage(raw, c.thinCount); err != nil {
 			reject(c.slot, "%v", err)
@@ -1000,6 +1111,26 @@ func (p *Pool) load() error {
 		p.recovery.Reason = reasons[0]
 	}
 	return nil
+}
+
+// primePendingFrom replaces slot's conservative load-time pending set
+// (setAll — content unknown) with the exact divergence between the slot's
+// validated on-disk image and the loaded arena. Arena blocks the other
+// image does not cover are marked — the slot's disk bytes there are stale
+// relative to the arena — while blocks beyond the arena need no mark:
+// writeSlot never touches them until the arena grows, and growth passes
+// through the changed set, which marks every grown block for both slots.
+func (p *Pool) primePendingFrom(slot int, other []byte) {
+	bs := p.meta.BlockSize()
+	pend := p.pending[slot]
+	pend.clearAll()
+	nb := len(p.image) / bs
+	for b := 0; b < nb; b++ {
+		lo, hi := b*bs, (b+1)*bs
+		if hi > len(other) || !bytes.Equal(p.image[lo:hi], other[lo:hi]) {
+			pend.mark(uint64(b))
+		}
+	}
 }
 
 // allZero reports whether b contains only zero bytes.

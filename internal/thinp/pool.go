@@ -143,8 +143,29 @@ func (tm *thinMeta) noteUnmapped(vb uint64) {
 
 // Pool is the thin-pool target: data device + metadata device + global
 // bitmap + per-thin mappings. Pool is safe for concurrent use.
+//
+// Locking is decomposed into three pieces so concurrent callers only
+// contend where they genuinely share state:
+//
+//   - mu, a sync.RWMutex, guards the mapping state: the thins map, the
+//     per-thin page tables, the bitmap, and the delta bookkeeping. Thin
+//     I/O (reads and overwrites) resolves its mappings AND performs its
+//     data-device transfers under the shared mode, so concurrent readers
+//     and writers of any thins never contend with each other — and a
+//     concurrent discard + commit + reallocation can never retarget an
+//     in-flight transfer at a physical block that now belongs to another
+//     thin, because discard, provisioning and the commit's flip take the
+//     lock exclusively and therefore wait for in-flight transfers.
+//   - commitMu serializes the commit machinery (the image arena, the
+//     per-slot pending sets, the slot device writes). Commit holds mu only
+//     while snapshotting the delta into the arena and while flipping the
+//     active slot; the metadata device I/O in between runs under commitMu
+//     alone, so reads and writes proceed while a commit is in flight.
+//   - doorMu guards the group-commit door: concurrent committers park at
+//     the door and one leader folds every parked caller's delta into a
+//     single A/B slot flip (see Commit).
 type Pool struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	data  storage.Device
 	meta  storage.Device
 	bm    *Bitmap
@@ -165,6 +186,27 @@ type Pool struct {
 	// are exempt — no committed mapping references them.
 	txFree  map[uint64]struct{}
 	allocBM *Bitmap
+	// inFlightAlloc is the detached txAlloc of a commit whose slot I/O is
+	// in flight: those allocations are not durable until the flip, so
+	// PendingAllocations keeps counting them. Non-nil only between a
+	// commit's phase 1 and phase 3.
+	inFlightAlloc map[uint64]struct{}
+
+	// commitMu serializes commits end to end: arena patching, slot device
+	// writes, and the per-slot pending bookkeeping. It is held across the
+	// metadata device I/O so mu can be released there.
+	commitMu sync.Mutex
+	// doorMu guards the group-commit door state below. A committer finding
+	// batch non-nil parks on it and is covered by that batch's leader; the
+	// leader detaches the batch (under doorMu) only after acquiring
+	// commitMu, so every parked caller's mutations happened-before the
+	// leader's snapshot. commitCalls counts Commit/CommitFull calls,
+	// slotFlips counts actual superblock flips; their ratio is the group
+	// commit's folding factor.
+	doorMu      sync.Mutex
+	batch       *commitBatch
+	commitCalls uint64
+	slotFlips   uint64
 
 	// Flat-cost commit state. image is the assembled metadata image as a
 	// persistent mutable arena: commits apply dirty bitmap words and
@@ -244,7 +286,7 @@ func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 			return nil, fmt.Errorf("thinp: clearing superblock %d: %w", slot, err)
 		}
 	}
-	if err := p.commitLocked(true); err != nil {
+	if err := p.commitOnce(true); err != nil {
 		return nil, fmt.Errorf("thinp: formatting metadata: %w", err)
 	}
 	p.recovery = Recovery{Slot: p.active, TxID: p.txID}
@@ -294,55 +336,57 @@ func (p *Pool) AllocatorName() string { return p.opts.Allocator.Name() }
 
 // FreeBlocks returns the number of unallocated data blocks.
 func (p *Pool) FreeBlocks() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.bm.Free()
 }
 
 // AllocatedBlocks returns the number of allocated data blocks.
 func (p *Pool) AllocatedBlocks() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.bm.Allocated()
 }
 
 // DummyBlocksWritten returns the cumulative count of dummy-write noise
 // blocks.
 func (p *Pool) DummyBlocksWritten() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.dummyBlocksWritten
 }
 
 // TransactionID returns the committed metadata transaction id.
 func (p *Pool) TransactionID() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.txID
 }
 
 // ActiveSlot returns the metadata slot (0 or 1) holding the last committed
 // image.
 func (p *Pool) ActiveSlot() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.active
 }
 
 // Recovery returns the A/B slot selection performed when the pool was
 // opened (or, for a fresh pool, the slot the format commit landed in).
 func (p *Pool) Recovery() Recovery {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.recovery
 }
 
 // PendingAllocations returns the number of blocks allocated since the last
-// commit (the transaction record of Sec. V-A).
+// durable commit (the transaction record of Sec. V-A). Allocations whose
+// commit is mid-flight still count — they are not durable until the
+// superblock flip lands.
 func (p *Pool) PendingAllocations() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.txAlloc)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.txAlloc) + len(p.inFlightAlloc)
 }
 
 // CreateThin registers a thin device with the given id and virtual size.
@@ -386,8 +430,8 @@ func (p *Pool) DeleteThin(id int) error {
 
 // Thin returns the block-device view of thin device id.
 func (p *Pool) Thin(id int) (*Thin, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if _, ok := p.thins[id]; !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
@@ -396,8 +440,8 @@ func (p *Pool) Thin(id int) (*Thin, error) {
 
 // ThinIDs returns the sorted ids of all thin devices.
 func (p *Pool) ThinIDs() []int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	ids := make([]int, 0, len(p.thins))
 	for id := range p.thins {
 		ids = append(ids, id)
@@ -408,8 +452,8 @@ func (p *Pool) ThinIDs() []int {
 
 // MappedBlocks returns how many virtual blocks of thin id are provisioned.
 func (p *Pool) MappedBlocks(id int) (uint64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	tm, ok := p.thins[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
@@ -420,8 +464,8 @@ func (p *Pool) MappedBlocks(id int) (uint64, error) {
 // MappedVBlocks returns the sorted virtual block numbers provisioned for
 // thin id. The garbage collector uses it to choose dummy blocks to reclaim.
 func (p *Pool) MappedVBlocks(id int) ([]uint64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	tm, ok := p.thins[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
@@ -445,8 +489,8 @@ func (p *Pool) MappedVBlocks(id int) ([]uint64, error) {
 // Tests and the soak suite run this after every interesting transition; a
 // real deployment would expose it as a thin_check-style tool.
 func (p *Pool) CheckIntegrity() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	owner := make(map[uint64]int, p.bm.Allocated())
 	for id, tm := range p.thins {
 		var vErr error
@@ -481,8 +525,8 @@ func (p *Pool) CheckIntegrity() error {
 // id. The multi-snapshot adversary reconstructs exactly this view from the
 // plaintext metadata (Sec. IV-B allows it; the ownership is deniable).
 func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	tm, ok := p.thins[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)

@@ -26,8 +26,8 @@ func (t *Thin) BlockSize() int { return t.pool.data.BlockSize() }
 
 // NumBlocks implements storage.Device.
 func (t *Thin) NumBlocks() uint64 {
-	t.pool.mu.Lock()
-	defer t.pool.mu.Unlock()
+	t.pool.mu.RLock()
+	defer t.pool.mu.RUnlock()
 	tm, ok := t.pool.thins[t.id]
 	if !ok {
 		return 0
@@ -35,68 +35,22 @@ func (t *Thin) NumBlocks() uint64 {
 	return tm.virtBlocks
 }
 
-// ReadBlock implements storage.Device.
+// ReadBlock implements storage.Device. It is the single-block case of
+// ReadBlocks and shares its locking discipline.
 func (t *Thin) ReadBlock(idx uint64, dst []byte) error {
-	t.pool.mu.Lock()
-	tm, ok := t.pool.thins[t.id]
-	if !ok {
-		t.pool.mu.Unlock()
-		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
-	}
-	if idx >= tm.virtBlocks {
-		t.pool.mu.Unlock()
-		return fmt.Errorf("%w: vblock %d of %d", storage.ErrOutOfRange, idx, tm.virtBlocks)
-	}
 	if len(dst) != t.pool.data.BlockSize() {
-		t.pool.mu.Unlock()
 		return storage.ErrBadBuffer
 	}
-	pb, mapped := tm.pt.get(idx)
-	meter := t.pool.opts.Meter
-	t.pool.mu.Unlock()
-
-	if meter != nil {
-		meter.ChargeTraversalRead()
-	}
-	if !mapped {
-		clear(dst)
-		return nil
-	}
-	return t.pool.data.ReadBlock(pb, dst)
+	return t.ReadBlocks(idx, dst)
 }
 
-// WriteBlock implements storage.Device.
+// WriteBlock implements storage.Device. It is the single-block case of
+// WriteBlocks and shares its locking discipline.
 func (t *Thin) WriteBlock(idx uint64, src []byte) error {
-	t.pool.mu.Lock()
-	tm, ok := t.pool.thins[t.id]
-	if !ok {
-		t.pool.mu.Unlock()
-		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
-	}
-	if idx >= tm.virtBlocks {
-		t.pool.mu.Unlock()
-		return fmt.Errorf("%w: vblock %d of %d", storage.ErrOutOfRange, idx, tm.virtBlocks)
-	}
 	if len(src) != t.pool.data.BlockSize() {
-		t.pool.mu.Unlock()
 		return storage.ErrBadBuffer
 	}
-	pb, mapped := tm.pt.get(idx)
-	if !mapped {
-		var err error
-		pb, err = t.pool.provisionLocked(tm, idx)
-		if err != nil {
-			t.pool.mu.Unlock()
-			return err
-		}
-	}
-	meter := t.pool.opts.Meter
-	t.pool.mu.Unlock()
-
-	if meter != nil {
-		meter.ChargeTraversalWrite()
-	}
-	return t.pool.data.WriteBlock(pb, src)
+	return t.WriteBlocks(idx, src)
 }
 
 // extent is one physically-resolved run of a virtual range: count
@@ -147,16 +101,20 @@ func (t *Thin) checkRangeLocked(start uint64, buf []byte) (*thinMeta, uint64, er
 	return tm, n, nil
 }
 
-// ReadBlocks implements storage.RangeDevice. The pool lock is taken once
-// for the whole request to resolve the virtual range into extent runs;
-// physically contiguous runs then become single data-device reads and holes
-// become zero fills, all outside the lock.
+// ReadBlocks implements storage.RangeDevice. The pool's shared lock is
+// taken once for the whole request and held across the data-device reads:
+// the mapping resolution and the transfers it authorizes are atomic
+// against discard/commit, so a physical block can never be freed,
+// committed away and reallocated to another thin while a read of it is in
+// flight. Concurrent readers — of this thin or any other — share the lock
+// and never contend; physically contiguous runs become single data-device
+// reads and holes become zero fills.
 func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
 	var extArr [16]extent
-	t.pool.mu.Lock()
+	t.pool.mu.RLock()
 	tm, n, err := t.checkRangeLocked(start, dst)
 	if err != nil {
-		t.pool.mu.Unlock()
+		t.pool.mu.RUnlock()
 		return err
 	}
 	exts := extArr[:0]
@@ -166,13 +124,6 @@ func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
 		exts = appendRun(exts, pb, !mapped)
 	})
 	meter := t.pool.opts.Meter
-	t.pool.mu.Unlock()
-
-	if meter != nil {
-		for i := uint64(0); i < n; i++ {
-			meter.ChargeTraversalRead()
-		}
-	}
 	bs := t.pool.data.BlockSize()
 	off := 0
 	for _, e := range exts {
@@ -182,62 +133,154 @@ func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
 		case e.hole:
 			clear(buf)
 		case e.count == 1:
-			if err := t.pool.data.ReadBlock(e.phys, buf); err != nil {
-				return err
-			}
+			err = t.pool.data.ReadBlock(e.phys, buf)
 		default:
-			if err := storage.ReadBlocks(t.pool.data, e.phys, buf); err != nil {
-				return err
-			}
+			err = storage.ReadBlocks(t.pool.data, e.phys, buf)
+		}
+		if err != nil {
+			t.pool.mu.RUnlock()
+			return err
 		}
 		off += span
+	}
+	t.pool.mu.RUnlock()
+
+	if meter != nil {
+		for i := uint64(0); i < n; i++ {
+			meter.ChargeTraversalRead()
+		}
 	}
 	return nil
 }
 
-// WriteBlocks implements storage.RangeDevice. Unmapped blocks in the range
-// are provisioned in one batch under a single pool-lock acquisition — the
-// dummy-write policy is still consulted per provisioned block, preserving
-// the paper's Sec. IV-B trigger semantics — then the resolved extent runs
-// are written with coalesced data-device calls.
+// writeAttempts is the number of optimistic shared-lock passes a write
+// makes before falling back to the exclusive lock for guaranteed
+// progress. More than one retry only happens when a concurrent discard
+// keeps unmapping blocks of the range between the provision pass and the
+// re-resolve — already undefined-content territory for the racing caller,
+// but the fallback bounds the loop regardless.
+const writeAttempts = 4
+
+// WriteBlocks implements storage.RangeDevice. A range whose blocks are
+// all provisioned resolves and writes under the pool's shared lock —
+// concurrent overwriters never contend, and holding the lock across the
+// transfer means a concurrent discard+commit can never free a block and
+// hand it to another thin while this request's data is in flight. When
+// blocks must be provisioned, the holes are provisioned in one batch
+// under the exclusive lock — the dummy-write policy is still consulted
+// per provisioned block, preserving the paper's Sec. IV-B trigger
+// semantics — and the request then retries the shared-lock pass (the
+// re-resolve sees the current mapping, including blocks a racing writer
+// provisioned first). After writeAttempts races the request completes
+// under the exclusive lock outright.
 func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 	var extArr [16]extent
+	var fresh []uint64 // vblocks provisioned by this request, data not yet landed
+	for attempt := 0; ; attempt++ {
+		exclusive := attempt >= writeAttempts
+		lock, unlock := t.pool.mu.RLock, t.pool.mu.RUnlock
+		if exclusive {
+			lock, unlock = t.pool.mu.Lock, t.pool.mu.Unlock
+		}
+		lock()
+		tm, n, err := t.checkRangeLocked(start, src)
+		if err != nil {
+			unlock()
+			t.unwindFresh(fresh, start) // nothing landed
+			return err
+		}
+		exts := extArr[:0]
+		hole := false
+		tm.pt.walkRange(start, n, func(_ uint64, pb uint64, mapped bool) {
+			if !mapped {
+				hole = true
+				return
+			}
+			exts = appendRun(exts, pb, false)
+		})
+		if hole {
+			if exclusive {
+				// Guaranteed-progress path: provision and re-resolve
+				// under the same exclusive acquisition.
+				if err := t.provisionHolesLocked(tm, start, n, &fresh); err != nil {
+					unlock()
+					return err
+				}
+				exts = exts[:0]
+				tm.pt.walkRange(start, n, func(_ uint64, pb uint64, _ bool) {
+					exts = appendRun(exts, pb, false)
+				})
+			} else {
+				unlock()
+				if err := t.provisionHoles(start, src, &fresh); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		meter := t.pool.opts.Meter
+		done, werr := t.writeExtentsLocked(src, exts)
+		unlock()
+		if werr != nil {
+			// Discard this request's provisions whose data never landed:
+			// left mapped, they would read back stale physical content
+			// instead of zeros. A device reporting partial completion
+			// tells us exactly how much of the run made it; the
+			// transferred prefix keeps its provisions. (Dummy writes
+			// already performed stay — they are real, durable noise.)
+			t.unwindFresh(fresh, start+done)
+			return werr
+		}
+		if meter != nil {
+			for i := uint64(0); i < n; i++ {
+				meter.ChargeTraversalWrite()
+			}
+		}
+		return nil
+	}
+}
+
+// provisionHoles provisions, under one exclusive-lock acquisition, every
+// currently unmapped block of the range, appending the provisioned
+// vblocks to *fresh.
+func (t *Thin) provisionHoles(start uint64, src []byte, fresh *[]uint64) error {
 	t.pool.mu.Lock()
+	defer t.pool.mu.Unlock()
 	tm, n, err := t.checkRangeLocked(start, src)
 	if err != nil {
-		t.pool.mu.Unlock()
 		return err
 	}
-	exts := extArr[:0]
-	var fresh []uint64 // vblocks provisioned by this request
+	return t.provisionHolesLocked(tm, start, n, fresh)
+}
+
+// provisionHolesLocked provisions every currently unmapped block of
+// [start, start+n), appending the provisioned vblocks to *fresh. On
+// failure every vblock in *fresh — this pass and earlier ones — is
+// discarded: none of this request's data has been written yet, and a
+// mapped block whose data was never written would read back device
+// garbage instead of zeros. (Dummy writes already performed stay — they
+// are real, durable noise.) Caller holds the pool lock exclusively.
+func (t *Thin) provisionHolesLocked(tm *thinMeta, start, n uint64, fresh *[]uint64) error {
 	for i := uint64(0); i < n; i++ {
-		pb, mapped := tm.pt.get(start + i)
-		if !mapped {
-			pb, err = t.pool.provisionLocked(tm, start+i)
-			if err != nil {
-				// Unwind this request's provisions: leaving them mapped
-				// without ever writing their data would make the failed
-				// vblocks read back device garbage instead of zeros.
-				// (Dummy writes already performed stay — they are real,
-				// durable noise.)
-				for _, vb := range fresh {
+		if _, mapped := tm.pt.get(start + i); !mapped {
+			if _, err := t.pool.provisionLocked(tm, start+i); err != nil {
+				for _, vb := range *fresh {
 					_ = t.pool.discardLocked(tm, vb)
 				}
-				t.pool.mu.Unlock()
 				return err
 			}
-			fresh = append(fresh, start+i)
+			*fresh = append(*fresh, start+i)
 		}
-		exts = appendRun(exts, pb, false)
 	}
-	meter := t.pool.opts.Meter
-	t.pool.mu.Unlock()
+	return nil
+}
 
-	if meter != nil {
-		for i := uint64(0); i < n; i++ {
-			meter.ChargeTraversalWrite()
-		}
-	}
+// writeExtentsLocked issues the resolved extent runs as coalesced
+// data-device calls, returning how many blocks landed. Caller holds the
+// pool lock (shared or exclusive) across the call — that is the point:
+// the mappings the extents were resolved from cannot change while the
+// data is in flight.
+func (t *Thin) writeExtentsLocked(src []byte, exts []extent) (uint64, error) {
 	bs := t.pool.data.BlockSize()
 	off := 0
 	done := uint64(0) // blocks whose data reached the device
@@ -250,33 +293,34 @@ func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 			werr = storage.WriteBlocks(t.pool.data, e.phys, src[off:off+span])
 		}
 		if werr != nil {
-			// Discard this request's provisions whose data never landed:
-			// left mapped, they would read back stale physical content
-			// instead of zeros. A device reporting partial completion
-			// tells us exactly how much of the extent made it; credit the
-			// transferred prefix so its provisions survive. (If a
-			// concurrent overlapping write raced this failed one, its
-			// blocks land in the undefined-content regime overlapping
-			// writes already are.)
 			var pe *storage.PartialError
 			if errors.As(werr, &pe) {
 				done += uint64(pe.Done)
 			}
-			t.pool.mu.Lock()
-			if tm, ok := t.pool.thins[t.id]; ok {
-				for _, vb := range fresh {
-					if vb >= start+done {
-						_ = t.pool.discardLocked(tm, vb)
-					}
-				}
-			}
-			t.pool.mu.Unlock()
-			return werr
+			return done, werr
 		}
 		done += uint64(e.count)
 		off += span
 	}
-	return nil
+	return done, nil
+}
+
+// unwindFresh discards this request's fresh provisions at or above
+// landedBelow (the vblocks whose data never reached the device). Caller
+// holds no pool lock.
+func (t *Thin) unwindFresh(fresh []uint64, landedBelow uint64) {
+	if len(fresh) == 0 {
+		return
+	}
+	t.pool.mu.Lock()
+	if tm, ok := t.pool.thins[t.id]; ok {
+		for _, vb := range fresh {
+			if vb >= landedBelow {
+				_ = t.pool.discardLocked(tm, vb)
+			}
+		}
+	}
+	t.pool.mu.Unlock()
 }
 
 // Discard unmaps virtual block idx, freeing its physical block (the TRIM

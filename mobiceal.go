@@ -31,6 +31,7 @@ import (
 	"mobiceal/internal/adversary"
 	"mobiceal/internal/android"
 	"mobiceal/internal/core"
+	"mobiceal/internal/ioq"
 	"mobiceal/internal/minifs"
 	"mobiceal/internal/storage"
 	"mobiceal/internal/vclock"
@@ -64,7 +65,16 @@ type (
 	// Phone simulates the Android integration: boot, screen-lock entrance,
 	// fast switching with side-channel isolation.
 	Phone = android.MobiCealPhone
+	// Future is the completion handle of an asynchronous volume request
+	// (Volume.SubmitRead / SubmitWrite / SubmitDiscard / Flush). A
+	// completed Flush guarantees everything submitted to that volume
+	// before it is durable; concurrent flushes across volumes fold into
+	// shared group commits.
+	Future = ioq.Future
 )
+
+// WaitAll waits a set of request futures and returns the first error.
+func WaitAll(futures ...*Future) error { return ioq.WaitAll(futures...) }
 
 // Operating modes.
 const (
