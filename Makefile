@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench-smoke bench-json bench-pr4
+.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -22,3 +22,8 @@ bench-json:
 # volume service (see BENCH_PR4.json).
 bench-pr4:
 	./cmd/experiments/bench_pr4.sh
+
+# Scatter-gather benchmark set: zero-copy merged dispatch vs the old
+# scratch-copy merge, plus the PR 4 drift re-runs (see BENCH_PR5.json).
+bench-pr5:
+	./cmd/experiments/bench_pr5.sh

@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench_pr5.sh — run the scatter-gather I/O benchmark set and emit the
+# results as JSON on stdout (the format committed in BENCH_PR5.json).
+#
+#   ./cmd/experiments/bench_pr5.sh > /tmp/bench.json
+#   BENCHTIME=500x ./cmd/experiments/bench_pr5.sh     # quicker smoke run
+#
+# The set covers the numbers the README tracks for the zero-copy merged
+# dispatch: BenchmarkMergedRun pits the shipping scatter-gather path
+# (zerocopy) against a layer reproducing the old pooled-scratch merge
+# (gather), so the committed pair keeps measuring exactly what the payload
+# memcpy was worth; BenchmarkVolumeService and BenchmarkConcurrentWriters
+# re-run the PR 4 concurrency numbers for drift; BenchmarkFig4 is the
+# serial-path regression guard with the *_virt reproduction metrics that
+# must stay bit-identical.
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-5000x}"
+
+{
+	go test -run XXX -bench 'BenchmarkMergedRun' -benchtime "$BENCHTIME" ./internal/ioq/
+	go test -run XXX -bench 'BenchmarkVolumeService' -benchtime 1000x ./internal/ioq/
+	go test -run XXX -bench 'BenchmarkConcurrentWriters' -benchtime 1000x ./internal/thinp/
+	go test -run XXX -bench 'BenchmarkFig4' -benchtime 1000x .
+} | go run ./cmd/experiments/benchjson

@@ -2,6 +2,7 @@ package core
 
 import (
 	"mobiceal/internal/ioq"
+	"mobiceal/internal/storage"
 )
 
 // Scheduler returns the system's shared I/O scheduler, starting it on
@@ -37,11 +38,56 @@ func (s *System) Close() error {
 	return s.pool.Commit()
 }
 
+// FlushAll is the system-level durability barrier: it quiesces every
+// volume's submission queue (every request submitted to any volume before
+// the FlushAll drains), then folds ALL their durability into a single data
+// sync and ONE pool group commit — one A/B slot flip covers the whole
+// system, where per-volume Flushes would pay one device Sync each and rely
+// on lucky overlap at the commit door to fold. Requests submitted while
+// FlushAll runs are not ordered against it; they may land before the
+// commit and simply ride along into it.
+func (s *System) FlushAll() error {
+	sched := s.Scheduler()
+	qs := sched.Queues()
+	futs := make([]*ioq.Future, len(qs))
+	for i, q := range qs {
+		futs[i] = q.Quiesce()
+	}
+	if err := ioq.WaitAll(futs...); err != nil {
+		return err
+	}
+	if err := s.pool.DataDevice().Sync(); err != nil {
+		return err
+	}
+	return s.pool.Commit()
+}
+
 // queue returns the volume's submission queue, registering it with the
-// system scheduler on first use.
+// system scheduler on first use. Queues are shared per volume id: opening
+// the same volume repeatedly (each Open returns a fresh *Volume over an
+// equivalent decrypted view) reuses one queue, so a long-lived System's
+// scheduler tracks at most NumVolumes queues no matter how many Volume
+// handles were ever created — and FlushAll quiesces live volumes, not the
+// ghosts of dropped handles.
 func (v *Volume) queue() *ioq.VolumeQueue {
-	v.qOnce.Do(func() { v.q = v.sys.Scheduler().Register(v.dev) })
+	v.qOnce.Do(func() { v.q = v.sys.volumeQueue(v.id, v.dev) })
 	return v.q
+}
+
+// volumeQueue returns the shared submission queue of volume id, creating
+// it on first use.
+func (s *System) volumeQueue(id int, dev storage.Device) *ioq.VolumeQueue {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	if q, ok := s.queues[id]; ok {
+		return q
+	}
+	q := s.Scheduler().Register(dev)
+	if s.queues == nil {
+		s.queues = make(map[int]*ioq.VolumeQueue)
+	}
+	s.queues[id] = q
+	return q
 }
 
 // SubmitRead asynchronously reads blocks [start, start+len(dst)/bs) of

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"mobiceal/internal/ioq"
 	"mobiceal/internal/prng"
 	"mobiceal/internal/storage"
 )
@@ -149,6 +150,108 @@ func TestConcurrentWorkloadInvariants(t *testing.T) {
 // TestSubmitAfterCloseWithoutAsyncUse pins the post-Close contract for a
 // system whose async API was never touched before Close: submissions must
 // fail with a clean error, not crash on a missing scheduler.
+// TestFlushAllFoldsIntoOneCommit pins the system-level barrier: FlushAll
+// quiesces every volume's queue and folds the durability of ALL of them
+// into exactly one pool commit (one call, one A/B slot flip), and the
+// flushed payloads survive a reopen from the raw device without Close.
+func TestFlushAllFoldsIntoOneCommit(t *testing.T) {
+	sys, dev := newSystem(t, 51, []string{"hidden-pass"})
+	pub, err := sys.OpenPublic("decoy-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hid, err := sys.OpenHidden("hidden-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	payload := map[*Volume][]byte{}
+	var futs []*ioq.Future
+	for _, vol := range []*Volume{pub, hid} {
+		buf := make([]byte, 16*blockSize)
+		rng.Read(buf)
+		payload[vol] = buf
+		for i := 0; i < 4; i++ {
+			futs = append(futs, vol.SubmitWrite(uint64(i*4), buf[i*4*blockSize:(i+1)*4*blockSize]))
+		}
+	}
+	if err := ioq.WaitAll(futs...); err != nil {
+		t.Fatal(err)
+	}
+	callsBefore, flipsBefore := sys.Pool().CommitStats()
+	if err := sys.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	calls, flips := sys.Pool().CommitStats()
+	if calls-callsBefore != 1 || flips-flipsBefore != 1 {
+		t.Fatalf("FlushAll cost %d commits / %d flips, want 1/1",
+			calls-callsBefore, flips-flipsBefore)
+	}
+	if got := sys.Pool().PendingAllocations(); got != 0 {
+		t.Fatalf("%d allocations still pending after FlushAll", got)
+	}
+
+	// The flushed writes are durable: a second System opened over the
+	// same device (no Close, no further commit) reads them back.
+	sys2, err := Open(dev, testConfig(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := sys2.OpenPublic("decoy-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hid2, err := sys2.OpenHidden("hidden-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vol, vol2 := range map[*Volume]*Volume{pub: pub2, hid: hid2} {
+		got := make([]byte, len(payload[vol]))
+		if err := storage.ReadBlocks(vol2.Device(), 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload[vol]) {
+			t.Fatalf("%s volume payload not durable across reopen", vol2.Mode())
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// FlushAll on a system whose async API was never touched is a plain
+	// commit — no queues, no panic.
+	sys3, _ := newSystem(t, 52, nil)
+	if err := sys3.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedOpensShareOneQueue pins the queue-per-volume-id sharing:
+// opening the same volume many times must not grow the scheduler's
+// tracked queue set (a long-lived system would otherwise leak dead
+// queues and FlushAll would quiesce every ghost).
+func TestRepeatedOpensShareOneQueue(t *testing.T) {
+	sys, _ := newSystem(t, 53, nil)
+	defer func() {
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	buf := make([]byte, blockSize)
+	for i := 0; i < 5; i++ {
+		vol, err := sys.OpenPublic("decoy-pass")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vol.SubmitWrite(uint64(i), buf).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(sys.Scheduler().Queues()); got != 1 {
+		t.Fatalf("scheduler tracks %d queues after 5 opens of one volume, want 1", got)
+	}
+}
+
 func TestSubmitAfterCloseWithoutAsyncUse(t *testing.T) {
 	sys, _ := newSystem(t, 83, nil)
 	vol, err := sys.OpenPublic("decoy-pass")

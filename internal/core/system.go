@@ -119,9 +119,12 @@ type System struct {
 	policy *StoredRandPolicy
 
 	// asyncOnce lazily starts the shared I/O scheduler behind the
-	// volumes' Submit*/Flush API (see async.go).
+	// volumes' Submit*/Flush API (see async.go); queues shares one
+	// submission queue per volume id across repeated opens.
 	asyncOnce sync.Once
 	sched     *ioq.Scheduler
+	queueMu   sync.Mutex
+	queues    map[int]*ioq.VolumeQueue
 
 	metaBlocks uint64
 	dataBlocks uint64

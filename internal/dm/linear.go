@@ -12,7 +12,10 @@ type Linear struct {
 	slice *storage.SliceDevice
 }
 
-var _ storage.RangeDevice = (*Linear)(nil)
+var (
+	_ storage.RangeDevice = (*Linear)(nil)
+	_ storage.VecDevice   = (*Linear)(nil)
+)
 
 // NewLinear maps blocks [start, start+length) of inner.
 func NewLinear(inner storage.Device, start, length uint64) (*Linear, error) {
@@ -41,6 +44,16 @@ func (l *Linear) ReadBlocks(start uint64, dst []byte) error { return l.slice.Rea
 // WriteBlocks implements storage.RangeDevice.
 func (l *Linear) WriteBlocks(start uint64, src []byte) error { return l.slice.WriteBlocks(start, src) }
 
+// ReadBlocksVec implements storage.VecDevice.
+func (l *Linear) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	return l.slice.ReadBlocksVec(start, v)
+}
+
+// WriteBlocksVec implements storage.VecDevice.
+func (l *Linear) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	return l.slice.WriteBlocksVec(start, v)
+}
+
 // Sync implements storage.Device.
 func (l *Linear) Sync() error { return l.slice.Sync() }
 
@@ -55,7 +68,10 @@ type Zero struct {
 	numBlocks uint64
 }
 
-var _ storage.RangeDevice = (*Zero)(nil)
+var (
+	_ storage.RangeDevice = (*Zero)(nil)
+	_ storage.VecDevice   = (*Zero)(nil)
+)
 
 // NewZero returns a dm-zero device of the given geometry.
 func NewZero(blockSize int, numBlocks uint64) *Zero {
@@ -115,6 +131,38 @@ func (z *Zero) WriteBlocks(start uint64, src []byte) error {
 	}
 	n := uint64(len(src) / z.blockSize)
 	if n > 0 && (start >= z.numBlocks || n > z.numBlocks-start) {
+		return fmt.Errorf("%w: blocks [%d, %d)", storage.ErrOutOfRange, start, start+n)
+	}
+	return nil
+}
+
+// ReadBlocksVec implements storage.VecDevice: every segment zero-fills.
+func (z *Zero) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	if err := z.checkVec(start, v); err != nil {
+		return err
+	}
+	return v.Range(func(_ int, seg []byte) error {
+		clear(seg)
+		return nil
+	})
+}
+
+// WriteBlocksVec implements storage.VecDevice: writes are discarded.
+func (z *Zero) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	return z.checkVec(start, v)
+}
+
+// checkVec validates a vec request against the zero target's geometry,
+// with the same block-size rule as every other VecDevice.
+func (z *Zero) checkVec(start uint64, v storage.BlockVec) error {
+	if v.Segments() == 0 {
+		return nil
+	}
+	if v.BlockSize() != z.blockSize {
+		return storage.ErrBadBuffer
+	}
+	n := uint64(v.Len())
+	if start >= z.numBlocks || n > z.numBlocks-start {
 		return fmt.Errorf("%w: blocks [%d, %d)", storage.ErrOutOfRange, start, start+n)
 	}
 	return nil

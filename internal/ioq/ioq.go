@@ -86,10 +86,11 @@ type Scheduler struct {
 	ready  []*VolumeQueue
 	closed bool
 	live   int // workers not yet exited
+	// queues records every registered volume queue, for system-wide
+	// operations (FlushAll quiesces them all).
+	queues []*VolumeQueue
 
 	wg sync.WaitGroup
-	// scratch holds reusable gather/scatter buffers for merged requests.
-	scratch storage.BufPool
 	// closedFlag mirrors closed for the lock-free submission-path check:
 	// submit must not take the scheduler-global mutex per request.
 	closedFlag atomic.Bool
@@ -109,8 +110,24 @@ func NewScheduler(opts Options) *Scheduler {
 
 // Register returns the submission queue for dev. Every volume (device
 // stack) gets its own queue; the queues share the scheduler's workers.
+// A registered queue is tracked for the scheduler's lifetime (Queues,
+// system-wide barriers), so callers serving long-lived systems should
+// register each volume once and reuse the queue rather than registering
+// per handle.
 func (s *Scheduler) Register(dev storage.Device) *VolumeQueue {
-	return &VolumeQueue{s: s, dev: dev}
+	q := &VolumeQueue{s: s, dev: dev}
+	s.mu.Lock()
+	s.queues = append(s.queues, q)
+	s.mu.Unlock()
+	return q
+}
+
+// Queues returns a snapshot of every registered volume queue, in
+// registration order. System-level barriers iterate it.
+func (s *Scheduler) Queues() []*VolumeQueue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*VolumeQueue(nil), s.queues...)
 }
 
 // Close stops the scheduler: new submissions fail with ErrClosed, already

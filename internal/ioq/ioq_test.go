@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+	"unsafe"
 
 	"mobiceal/internal/prng"
 	"mobiceal/internal/storage"
@@ -43,6 +44,22 @@ func (d *countingDevice) WriteBlocks(start uint64, src []byte) error {
 	return storage.WriteBlocks(d.Device, start, src)
 }
 
+func (d *countingDevice) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	d.mu.Lock()
+	d.readCalls++
+	d.log = append(d.log, "read")
+	d.mu.Unlock()
+	return storage.ReadBlocksVec(d.Device, start, v)
+}
+
+func (d *countingDevice) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	d.mu.Lock()
+	d.writeCalls++
+	d.log = append(d.log, "write")
+	d.mu.Unlock()
+	return storage.WriteBlocksVec(d.Device, start, v)
+}
+
 func (d *countingDevice) Sync() error {
 	d.mu.Lock()
 	d.syncs++
@@ -73,6 +90,20 @@ func (d *blockingDevice) WriteBlocks(start uint64, src []byte) error {
 
 func (d *blockingDevice) ReadBlocks(start uint64, dst []byte) error {
 	return storage.ReadBlocks(d.Device, start, dst)
+}
+
+func (d *blockingDevice) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	if d.armed.Load() {
+		d.once.Do(func() {
+			close(d.entered)
+			<-d.gate
+		})
+	}
+	return storage.WriteBlocksVec(d.Device, start, v)
+}
+
+func (d *blockingDevice) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	return storage.ReadBlocksVec(d.Device, start, v)
 }
 
 func TestReadWriteRoundtrip(t *testing.T) {
@@ -113,6 +144,38 @@ func TestErrorPropagation(t *testing.T) {
 	err = q.SubmitRead(0, make([]byte, blockSize/2)).Wait()
 	if !errors.Is(err, storage.ErrBadBuffer) {
 		t.Fatalf("short read buffer: got %v, want ErrBadBuffer", err)
+	}
+}
+
+// TestMisalignedSubmitRejectedBeforeMerge pins the submission-time
+// alignment check: a buffer that is not a whole number of blocks fails
+// its own future immediately and never enters the staging queue, so it
+// can never poison a merged run (the zero-copy vec dispatch requires
+// whole-block segments).
+func TestMisalignedSubmitRejectedBeforeMerge(t *testing.T) {
+	mem := storage.NewMemDevice(blockSize, 1024)
+	plug := &plugDevice{Device: mem, plug: 512}
+	s := NewScheduler(Options{Workers: 1, MaxBatch: 16, MergeBlocks: 64})
+	defer s.Close()
+	q := s.Register(plug)
+
+	plug.arm()
+	pf := q.SubmitWrite(512, make([]byte, blockSize))
+	<-plug.entered
+	// A misaligned write between two mergeable aligned ones: it must fail
+	// cleanly at submission while its aligned neighbors merge and land.
+	a := q.SubmitWrite(0, make([]byte, blockSize))
+	bad := q.SubmitWrite(1, make([]byte, blockSize+3))
+	if err := bad.Wait(); !errors.Is(err, storage.ErrBadBuffer) {
+		t.Fatalf("misaligned submit: %v, want ErrBadBuffer", err)
+	}
+	b := q.SubmitWrite(1, make([]byte, blockSize))
+	if err := q.SubmitRead(2, make([]byte, blockSize/2)).Wait(); !errors.Is(err, storage.ErrBadBuffer) {
+		t.Fatalf("misaligned read submit: %v, want ErrBadBuffer", err)
+	}
+	close(plug.gate)
+	if err := WaitAll(pf, a, b); err != nil {
+		t.Fatalf("aligned neighbors of a rejected request failed: %v", err)
 	}
 }
 
@@ -364,6 +427,200 @@ func TestSerialSemanticsMatchReference(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatal("final device contents diverge from reference")
+	}
+}
+
+// TestMergedDispatchMatchesSerialReference is the ioq leg of the
+// vec-vs-flat equivalence suite: batches of disjoint random requests are
+// piled deterministically behind a plug write, dispatch as merged
+// scatter-gather runs, and must be byte-equivalent to the same operations
+// applied serially to a reference device.
+func TestMergedDispatchMatchesSerialReference(t *testing.T) {
+	const (
+		blocks  = 512
+		plugIdx = blocks - 1
+		rounds  = 60
+	)
+	rng := rand.New(rand.NewSource(271828))
+	mem := storage.NewMemDevice(blockSize, blocks)
+	ref := storage.NewMemDevice(blockSize, blocks)
+	plug := &plugDevice{Device: mem, plug: plugIdx}
+	s := NewScheduler(Options{Workers: 1, MaxBatch: 64, MergeBlocks: 64})
+	defer s.Close()
+	q := s.Register(plug)
+	plugBuf := make([]byte, blockSize)
+
+	for round := 0; round < rounds; round++ {
+		plug.arm()
+		pf := q.SubmitWrite(plugIdx, plugBuf)
+		<-plug.entered
+		// Disjoint random requests: shuffle block regions so merged runs
+		// form from out-of-order adjacent submissions.
+		type pendingRead struct {
+			got, want []byte
+		}
+		var reads []pendingRead
+		var futs []*Future
+		perm := rng.Perm(15)
+		for _, r := range perm {
+			start := uint64(r * 32)
+			n := rng.Intn(4)*8 + 8
+			if rng.Intn(2) == 0 {
+				buf := make([]byte, n*blockSize)
+				rng.Read(buf)
+				futs = append(futs, q.SubmitWrite(start, buf))
+				if err := storage.WriteBlocks(ref, start, buf); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				got := make([]byte, n*blockSize)
+				want := make([]byte, n*blockSize)
+				if err := storage.ReadBlocks(ref, start, want); err != nil {
+					t.Fatal(err)
+				}
+				futs = append(futs, q.SubmitRead(start, got))
+				reads = append(reads, pendingRead{got: got, want: want})
+			}
+		}
+		close(plug.gate)
+		if err := pf.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if err := WaitAll(futs...); err != nil {
+			t.Fatal(err)
+		}
+		for i, pr := range reads {
+			if !bytes.Equal(pr.got, pr.want) {
+				t.Fatalf("round %d: merged read %d diverges from serial reference", round, i)
+			}
+		}
+	}
+	got, err := storage.ReadFull(mem, 0, plugIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := storage.ReadFull(ref, 0, plugIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("final device contents diverge from serial reference")
+	}
+}
+
+// vecObserver records the segmentation of vec calls reaching the device,
+// so tests can assert the merged dispatch really hands down the callers'
+// buffers unflattened.
+type vecObserver struct {
+	storage.Device
+	mu   sync.Mutex
+	segs [][]int // one entry per vec call: the segment block counts
+	ptrs []uintptr
+}
+
+func (d *vecObserver) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	d.mu.Lock()
+	var counts []int
+	for i := 0; i < v.Segments(); i++ {
+		counts = append(counts, len(v.Seg(i))/d.BlockSize())
+		d.ptrs = append(d.ptrs, uintptr(unsafe.Pointer(&v.Seg(i)[0])))
+	}
+	d.segs = append(d.segs, counts)
+	d.mu.Unlock()
+	return storage.WriteBlocksVec(d.Device, start, v)
+}
+
+func (d *vecObserver) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	return storage.ReadBlocksVec(d.Device, start, v)
+}
+
+func (d *vecObserver) WriteBlocks(start uint64, src []byte) error {
+	return storage.WriteBlocks(d.Device, start, src)
+}
+
+func (d *vecObserver) ReadBlocks(start uint64, dst []byte) error {
+	return storage.ReadBlocks(d.Device, start, dst)
+}
+
+// TestMergedDispatchIsZeroCopy pins the zero-copy contract: a merged run
+// reaches the device as ONE vec whose segments are the submitters' own
+// buffers (pointer-identical), not copies.
+func TestMergedDispatchIsZeroCopy(t *testing.T) {
+	const n = 6
+	mem := storage.NewMemDevice(blockSize, 1024)
+	obs := &vecObserver{Device: mem}
+	plug := &plugDevice{Device: obs, plug: 512}
+	s := NewScheduler(Options{Workers: 1, MaxBatch: 16, MergeBlocks: 64})
+	defer s.Close()
+	q := s.Register(plug)
+
+	plug.arm()
+	pf := q.SubmitWrite(512, make([]byte, blockSize))
+	<-plug.entered
+	bufs := make([][]byte, n)
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, 2*blockSize)
+		futs[i] = q.SubmitWrite(uint64(i*2), bufs[i])
+	}
+	close(plug.gate)
+	if err := pf.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WaitAll(futs...); err != nil {
+		t.Fatal(err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.segs) != 1 {
+		t.Fatalf("device saw %d vec calls, want 1 merged dispatch (segs: %v)", len(obs.segs), obs.segs)
+	}
+	if len(obs.segs[0]) != n {
+		t.Fatalf("merged vec has %d segments, want %d", len(obs.segs[0]), n)
+	}
+	for i, p := range obs.ptrs {
+		if p != uintptr(unsafe.Pointer(&bufs[i][0])) {
+			t.Fatalf("segment %d is not the submitter's buffer (copied?)", i)
+		}
+	}
+}
+
+// TestQuiesceBarrier pins Quiesce semantics: it completes only after every
+// older request drains, it runs NO device sync, and requests behind it
+// wait for it.
+func TestQuiesceBarrier(t *testing.T) {
+	mem := storage.NewMemDevice(blockSize, 64)
+	counter := &countingDevice{Device: mem}
+	dev := &blockingDevice{
+		Device:  counter,
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}),
+	}
+	s := NewScheduler(Options{Workers: 2})
+	defer s.Close()
+	q := s.Register(dev)
+
+	dev.armed.Store(true)
+	w := q.SubmitWrite(0, make([]byte, blockSize))
+	<-dev.entered
+	qf := q.Quiesce()
+	after := q.SubmitWrite(1, make([]byte, blockSize))
+	select {
+	case <-qf.Done():
+		t.Fatal("quiesce completed while an older write was in flight")
+	default:
+	}
+	close(dev.gate)
+	if err := WaitAll(w, qf, after); err != nil {
+		t.Fatal(err)
+	}
+	counter.mu.Lock()
+	defer counter.mu.Unlock()
+	if counter.syncs != 0 {
+		t.Fatalf("quiesce ran %d device syncs, want 0", counter.syncs)
+	}
+	if counter.writeCalls != 2 {
+		t.Fatalf("device saw %d write calls, want 2", counter.writeCalls)
 	}
 }
 

@@ -1,6 +1,7 @@
 package ioq
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -16,7 +17,16 @@ const (
 	OpWrite
 	OpDiscard
 	OpSync
+	// OpQuiesce is a dispatch barrier without a device Sync: it completes
+	// once every older request of its queue has drained, and nothing
+	// submitted after it dispatches before it completes. System-level
+	// flush-all uses it to quiesce every volume, then issue ONE sync
+	// covering all of them instead of one per queue.
+	OpQuiesce
 )
+
+// isBarrier reports whether op freezes the queue like a barrier.
+func (o Op) isBarrier() bool { return o == OpSync || o == OpQuiesce }
 
 // request is one queued operation. buf is the caller's buffer (read
 // destination or write source) and stays untouched by the scheduler until
@@ -34,7 +44,7 @@ func (r *request) blocks(bs int) uint64 {
 	switch r.op {
 	case OpDiscard:
 		return r.count
-	case OpSync:
+	case OpSync, OpQuiesce:
 		return 0
 	default:
 		return uint64(len(r.buf) / bs)
@@ -63,14 +73,36 @@ type VolumeQueue struct {
 
 // SubmitRead asynchronously reads blocks [start, start+len(dst)/bs) into
 // dst. dst must stay untouched by the caller until the future completes.
+// A dst that is not a whole number of blocks fails immediately: the
+// scheduler merges requests by block arithmetic, so a misaligned buffer
+// is rejected at the door rather than poisoning a merged run.
 func (q *VolumeQueue) SubmitRead(start uint64, dst []byte) *Future {
+	if f, ok := q.checkBuf(dst); !ok {
+		return f
+	}
 	return q.submit(&request{op: OpRead, start: start, buf: dst, f: newFuture()})
 }
 
 // SubmitWrite asynchronously writes src as blocks [start,
 // start+len(src)/bs). src must stay stable until the future completes.
+// Misaligned buffers are rejected at submission, like SubmitRead.
 func (q *VolumeQueue) SubmitWrite(start uint64, src []byte) *Future {
+	if f, ok := q.checkBuf(src); !ok {
+		return f
+	}
 	return q.submit(&request{op: OpWrite, start: start, buf: src, f: newFuture()})
+}
+
+// checkBuf validates that buf is block-aligned, returning a completed
+// failed future otherwise.
+func (q *VolumeQueue) checkBuf(buf []byte) (*Future, bool) {
+	if len(buf)%q.dev.BlockSize() != 0 {
+		f := newFuture()
+		f.complete(fmt.Errorf("%w: request buffer %d not a multiple of %d",
+			storage.ErrBadBuffer, len(buf), q.dev.BlockSize()))
+		return f, false
+	}
+	return nil, true
 }
 
 // SubmitDiscard asynchronously TRIMs blocks [start, start+count).
@@ -84,6 +116,15 @@ func (q *VolumeQueue) SubmitDiscard(start, count uint64) *Future {
 // (on a MobiCeal volume: data flushed and pool metadata group-committed).
 func (q *VolumeQueue) Flush() *Future {
 	return q.submit(&request{op: OpSync, f: newFuture()})
+}
+
+// Quiesce submits a drain barrier: its future completes once every request
+// submitted before it has completed, WITHOUT running the device stack's
+// Sync. Callers coordinating several queues (System.FlushAll) quiesce them
+// all, then fold the whole system's durability into a single sync instead
+// of paying one per queue.
+func (q *VolumeQueue) Quiesce() *Future {
+	return q.submit(&request{op: OpQuiesce, f: newFuture()})
 }
 
 // Device returns the device stack this queue serves.
@@ -128,7 +169,7 @@ func (q *VolumeQueue) dispatchableLocked() bool {
 	if len(q.pending) == 0 {
 		return false
 	}
-	if q.pending[0].op == OpSync && q.inflight > 0 {
+	if q.pending[0].op.isBarrier() && q.inflight > 0 {
 		// The barrier waits for the in-flight requests to drain; their
 		// completion re-evaluates.
 		return false
@@ -145,7 +186,7 @@ func (q *VolumeQueue) dispatch() {
 	if q.syncActive {
 		// Raced with a barrier that started after this queue was put on
 		// the ready list; its completion re-enqueues.
-	} else if len(q.pending) > 0 && q.pending[0].op == OpSync {
+	} else if len(q.pending) > 0 && q.pending[0].op.isBarrier() {
 		if q.inflight == 0 {
 			batch = q.pending[:1:1]
 			q.pending = q.pending[1:]
@@ -153,7 +194,7 @@ func (q *VolumeQueue) dispatch() {
 		}
 	} else {
 		n := 0
-		for n < len(q.pending) && n < q.s.opts.MaxBatch && q.pending[n].op != OpSync {
+		for n < len(q.pending) && n < q.s.opts.MaxBatch && !q.pending[n].op.isBarrier() {
 			n++
 		}
 		batch = q.pending[:n:n]
@@ -174,7 +215,7 @@ func (q *VolumeQueue) dispatch() {
 	}
 	q.mu.Lock()
 	q.inflight -= len(batch)
-	if len(batch) == 1 && batch[0].op == OpSync {
+	if len(batch) == 1 && batch[0].op.isBarrier() {
 		q.syncActive = false
 	}
 	wake := !q.queued && q.dispatchableLocked()
@@ -207,7 +248,7 @@ func (q *VolumeQueue) run(batch []*request) {
 		total := batch[i].blocks(bs)
 		for j < len(batch) &&
 			batch[j].op == batch[i].op &&
-			batch[j].op != OpSync &&
+			!batch[j].op.isBarrier() &&
 			batch[j].start == end &&
 			total+batch[j].blocks(bs) <= uint64(q.s.opts.MergeBlocks) {
 			end += batch[j].blocks(bs)
@@ -220,7 +261,10 @@ func (q *VolumeQueue) run(batch []*request) {
 }
 
 // exec executes one run of adjacent same-kind requests as a single device
-// operation. If a coalesced operation fails, the run is re-executed
+// operation. Merged reads and writes dispatch as one scatter-gather vec
+// built from the requests' own buffers — the device stack reads into /
+// writes from the callers' memory directly, with zero payload copies in
+// the scheduler. If a coalesced operation fails, the run is re-executed
 // request by request so each future carries its own precise error.
 func (q *VolumeQueue) exec(run []*request) {
 	if len(run) == 1 {
@@ -232,33 +276,9 @@ func (q *VolumeQueue) exec(run []*request) {
 	var err error
 	switch run[0].op {
 	case OpRead:
-		total := 0
-		for _, r := range run {
-			total += len(r.buf)
-		}
-		scratch := q.s.scratch.Get(total)
-		err = storage.ReadBlocks(q.dev, start, scratch)
-		if err == nil {
-			off := 0
-			for _, r := range run {
-				copy(r.buf, scratch[off:off+len(r.buf)])
-				off += len(r.buf)
-			}
-		}
-		q.s.scratch.Put(scratch)
+		err = storage.ReadBlocksVec(q.dev, start, q.runVec(run))
 	case OpWrite:
-		total := 0
-		for _, r := range run {
-			total += len(r.buf)
-		}
-		scratch := q.s.scratch.Get(total)
-		off := 0
-		for _, r := range run {
-			copy(scratch[off:], r.buf)
-			off += len(r.buf)
-		}
-		err = storage.WriteBlocks(q.dev, start, scratch)
-		q.s.scratch.Put(scratch)
+		err = storage.WriteBlocksVec(q.dev, start, q.runVec(run))
 	case OpDiscard:
 		var count uint64
 		for _, r := range run {
@@ -279,6 +299,20 @@ func (q *VolumeQueue) exec(run []*request) {
 	}
 }
 
+// runVec builds the scatter-gather vec of a merged run: one segment per
+// request, each the caller's own buffer. The only allocation is the
+// segment-header slice — no payload bytes move. Zero-length requests
+// (valid no-ops) contribute no segment.
+func (q *VolumeQueue) runVec(run []*request) storage.BlockVec {
+	segs := make([][]byte, 0, len(run))
+	for _, r := range run {
+		if len(r.buf) > 0 {
+			segs = append(segs, r.buf)
+		}
+	}
+	return storage.Vec(q.dev.BlockSize(), segs...)
+}
+
 // execOne executes a single request directly against the device.
 func (q *VolumeQueue) execOne(r *request) error {
 	switch r.op {
@@ -290,6 +324,10 @@ func (q *VolumeQueue) execOne(r *request) error {
 		return storage.Discard(q.dev, r.start, r.count)
 	case OpSync:
 		return q.dev.Sync()
+	case OpQuiesce:
+		// The barrier itself touches no device state; reaching execution
+		// IS the guarantee (everything older has drained).
+		return nil
 	}
 	return nil
 }

@@ -4,10 +4,12 @@ import "sync"
 
 // BufPool is a reusable byte-buffer pool for I/O-path scratch space (the
 // mempool analogue): Get returns a buffer of exactly n bytes, reusing a
-// pooled allocation when one is large enough. The dm targets and the ioq
-// scheduler share this one implementation so its subtleties — capacity
-// check on reuse, pointer-wrapped Put to avoid allocating on the way into
-// the pool — stay in one place.
+// pooled allocation when one is large enough. The dm-crypt target's
+// ciphertext buffers ride on this one implementation so its subtleties —
+// capacity check on reuse, pointer-wrapped Put to avoid allocating on the
+// way into the pool — stay in one place. (The ioq scheduler's merge path
+// no longer needs scratch at all: merged runs dispatch the callers' own
+// buffers as a BlockVec.)
 type BufPool struct {
 	p sync.Pool
 }

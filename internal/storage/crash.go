@@ -47,7 +47,10 @@ type CrashDevice struct {
 	down      bool
 }
 
-var _ RangeDevice = (*CrashDevice)(nil)
+var (
+	_ RangeDevice = (*CrashDevice)(nil)
+	_ VecDevice   = (*CrashDevice)(nil)
+)
 
 // NewCrashDevice wraps inner. Recording starts disabled; call StartRecording
 // once the workload of interest begins (typically after formatting).
@@ -131,6 +134,56 @@ func (d *CrashDevice) WriteBlocks(start uint64, src []byte) error {
 		d.bufferLocked(start+uint64(i), src[i*bs:(i+1)*bs])
 	}
 	return nil
+}
+
+// ReadBlocksVec implements VecDevice: one lock hold for the whole vec,
+// blocks served from the volatile cache or stable storage exactly as the
+// flat range path does.
+func (d *CrashDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down {
+		return ErrPowerCut
+	}
+	bs := d.inner.BlockSize()
+	if err := checkVecIO(start, v, bs, d.inner.NumBlocks()); err != nil {
+		return err
+	}
+	return v.Range(func(off int, seg []byte) error {
+		for i := 0; i*bs < len(seg); i++ {
+			idx := start + uint64(off+i)
+			out := seg[i*bs : (i+1)*bs]
+			if b, ok := d.cache[idx]; ok {
+				copy(out, b)
+			} else if err := d.inner.ReadBlock(idx, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteBlocksVec implements VecDevice: every block of every segment enters
+// the volatile cache, in vec order, under one lock hold — so the FIFO
+// flush order, the power-cut in-flight set and the recorded write log see
+// exactly the per-block stream the flat path would have produced, segment
+// run by segment run.
+func (d *CrashDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down {
+		return ErrPowerCut
+	}
+	bs := d.inner.BlockSize()
+	if err := checkVecIO(start, v, bs, d.inner.NumBlocks()); err != nil {
+		return err
+	}
+	return v.Range(func(off int, seg []byte) error {
+		for i := 0; i*bs < len(seg); i++ {
+			d.bufferLocked(start+uint64(off+i), seg[i*bs:(i+1)*bs])
+		}
+		return nil
+	})
 }
 
 // bufferLocked stores src as block idx in the volatile cache. Caller holds

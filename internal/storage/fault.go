@@ -48,7 +48,10 @@ type FaultDevice struct {
 	failedWrite uint64
 }
 
-var _ RangeDevice = (*FaultDevice)(nil)
+var (
+	_ RangeDevice = (*FaultDevice)(nil)
+	_ VecDevice   = (*FaultDevice)(nil)
+)
 
 // NewFaultDevice wraps inner with fault injection disarmed.
 func NewFaultDevice(inner Device) *FaultDevice {
@@ -178,6 +181,59 @@ func (d *FaultDevice) WriteBlocks(start uint64, src []byte) error {
 	}
 	d.mu.Unlock()
 	return WriteBlocks(d.inner, start, src)
+}
+
+// ReadBlocksVec implements VecDevice with the same block-granular budget
+// rule as ReadBlocks: the armed budget is consumed per block regardless of
+// segmentation, and a vec that exhausts it mid-transfer completes exactly
+// the covered prefix — which may end in the middle of a segment — and
+// fails with a PartialError counting blocks across all segments.
+func (d *FaultDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	n := v.Len()
+	d.mu.Lock()
+	if d.readArmed && d.readsLeft < n {
+		done := d.readsLeft
+		d.readsLeft = 0
+		d.failedReads++
+		d.mu.Unlock()
+		if done > 0 {
+			if err := ReadBlocksVec(d.inner, start, v.Slice(0, done)); err != nil {
+				return err
+			}
+		}
+		return &PartialError{Done: done, Err: fmt.Errorf(
+			"%w: read of %d blocks at %d", ErrInjected, n, start)}
+	}
+	if d.readArmed {
+		d.readsLeft -= n
+	}
+	d.mu.Unlock()
+	return ReadBlocksVec(d.inner, start, v)
+}
+
+// WriteBlocksVec implements VecDevice with the same block-granular budget
+// rule as ReadBlocksVec.
+func (d *FaultDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	n := v.Len()
+	d.mu.Lock()
+	if d.writeArmed && d.writesLeft < n {
+		done := d.writesLeft
+		d.writesLeft = 0
+		d.failedWrite++
+		d.mu.Unlock()
+		if done > 0 {
+			if err := WriteBlocksVec(d.inner, start, v.Slice(0, done)); err != nil {
+				return err
+			}
+		}
+		return &PartialError{Done: done, Err: fmt.Errorf(
+			"%w: write of %d blocks at %d", ErrInjected, n, start)}
+	}
+	if d.writeArmed {
+		d.writesLeft -= n
+	}
+	d.mu.Unlock()
+	return WriteBlocksVec(d.inner, start, v)
 }
 
 // Sync implements Device.

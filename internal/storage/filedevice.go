@@ -17,7 +17,10 @@ type FileDevice struct {
 	closed    bool
 }
 
-var _ RangeDevice = (*FileDevice)(nil)
+var (
+	_ RangeDevice = (*FileDevice)(nil)
+	_ VecDevice   = (*FileDevice)(nil)
+)
 
 // CreateFileDevice creates (or truncates) path as a device image of
 // numBlocks blocks of blockSize bytes.
@@ -139,6 +142,53 @@ func (d *FileDevice) WriteBlocks(start uint64, src []byte) error {
 			len(src)/d.blockSize, start, err)
 	}
 	return nil
+}
+
+// ReadBlocksVec implements VecDevice: one lock hold, sequential preads
+// into the segments in order (the preadv analogue — os.File carries no
+// vectored syscall, so the segments go down back to back).
+func (d *FileDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkVecIO(start, v, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	base := int64(start) * int64(d.blockSize)
+	off := int64(0)
+	return v.Range(func(_ int, seg []byte) error {
+		if _, err := d.f.ReadAt(seg, base+off); err != nil {
+			return fmt.Errorf("storage: reading %d blocks at %d: %w",
+				len(seg)/d.blockSize, start+uint64(off)/uint64(d.blockSize), err)
+		}
+		off += int64(len(seg))
+		return nil
+	})
+}
+
+// WriteBlocksVec implements VecDevice: one lock hold, sequential pwrites of
+// the segments in order (writev-style).
+func (d *FileDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkVecIO(start, v, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	base := int64(start) * int64(d.blockSize)
+	off := int64(0)
+	return v.Range(func(_ int, seg []byte) error {
+		if _, err := d.f.WriteAt(seg, base+off); err != nil {
+			return fmt.Errorf("storage: writing %d blocks at %d: %w",
+				len(seg)/d.blockSize, start+uint64(off)/uint64(d.blockSize), err)
+		}
+		off += int64(len(seg))
+		return nil
+	})
 }
 
 // Sync implements Device.

@@ -163,7 +163,10 @@ type MemDevice struct {
 	written uint64 // count of explicitly written blocks
 }
 
-var _ RangeDevice = (*MemDevice)(nil)
+var (
+	_ RangeDevice = (*MemDevice)(nil)
+	_ VecDevice   = (*MemDevice)(nil)
+)
 
 // NewMemDevice returns a zero-filled in-memory device with numBlocks blocks
 // of blockSize bytes.
@@ -335,6 +338,14 @@ func (d *MemDevice) WriteBlocks(start uint64, src []byte) error {
 	if err := checkRangeIO(start, src, d.blockSize, d.numBlocks); err != nil {
 		return err
 	}
+	d.writeRangeLocked(start, src)
+	return nil
+}
+
+// writeRangeLocked stores the validated block range [start,
+// start+len(src)/bs): one slab resolution and one bulk copy per slab span.
+// Caller holds d.mu for writing.
+func (d *MemDevice) writeRangeLocked(start uint64, src []byte) {
 	bs := d.blockSize
 	n := uint64(len(src) / bs)
 	for i := uint64(0); i < n; {
@@ -351,7 +362,42 @@ func (d *MemDevice) WriteBlocks(start uint64, src []byte) error {
 		s.written |= m
 		i += span
 	}
-	return nil
+}
+
+// ReadBlocksVec implements VecDevice: one lock acquisition for the whole
+// vec, each segment served by the same per-slab bulk copies the flat range
+// path uses (a copy straddling a segment boundary splits at the boundary —
+// destinations are distinct buffers — but never re-resolves the slab).
+func (d *MemDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkVecIO(start, v, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	return v.Range(func(off int, seg []byte) error {
+		readSlabRange(d.root, d.bg, d.blockSize, start+uint64(off), seg)
+		return nil
+	})
+}
+
+// WriteBlocksVec implements VecDevice: one lock acquisition, per-slab bulk
+// copies out of each segment.
+func (d *MemDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkVecIO(start, v, d.blockSize, d.numBlocks); err != nil {
+		return err
+	}
+	return v.Range(func(off int, seg []byte) error {
+		d.writeRangeLocked(start+uint64(off), seg)
+		return nil
+	})
 }
 
 // Sync implements Device. Memory devices have no volatile buffer, so Sync

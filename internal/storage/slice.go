@@ -12,7 +12,10 @@ type SliceDevice struct {
 	length uint64
 }
 
-var _ RangeDevice = (*SliceDevice)(nil)
+var (
+	_ RangeDevice = (*SliceDevice)(nil)
+	_ VecDevice   = (*SliceDevice)(nil)
+)
 
 // NewSliceDevice returns a view of parent covering blocks
 // [start, start+length). It fails if the range exceeds the parent.
@@ -61,6 +64,23 @@ func (d *SliceDevice) WriteBlocks(start uint64, src []byte) error {
 		return err
 	}
 	return WriteBlocks(d.parent, d.start+start, src)
+}
+
+// ReadBlocksVec implements VecDevice by offsetting the vec into the
+// parent, preserving the parent's native scatter-gather path.
+func (d *SliceDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	if err := checkVecIO(start, v, d.BlockSize(), d.length); err != nil {
+		return err
+	}
+	return ReadBlocksVec(d.parent, d.start+start, v)
+}
+
+// WriteBlocksVec implements VecDevice.
+func (d *SliceDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	if err := checkVecIO(start, v, d.BlockSize(), d.length); err != nil {
+		return err
+	}
+	return WriteBlocksVec(d.parent, d.start+start, v)
 }
 
 // DiscardRange implements Discarder by offsetting the range into the

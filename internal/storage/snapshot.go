@@ -22,7 +22,10 @@ type Snapshot struct {
 	bg        Background
 }
 
-var _ RangeDevice = (*Snapshot)(nil)
+var (
+	_ RangeDevice = (*Snapshot)(nil)
+	_ VecDevice   = (*Snapshot)(nil)
+)
 
 // BlockSize implements Device.
 func (s *Snapshot) BlockSize() int { return s.blockSize }
@@ -53,6 +56,20 @@ func (s *Snapshot) ReadBlocks(start uint64, dst []byte) error {
 
 // WriteBlocks implements RangeDevice; snapshots are read-only.
 func (s *Snapshot) WriteBlocks(uint64, []byte) error { return ErrReadOnly }
+
+// ReadBlocksVec implements VecDevice over the immutable slab tree.
+func (s *Snapshot) ReadBlocksVec(start uint64, v BlockVec) error {
+	if err := checkVecIO(start, v, s.blockSize, s.numBlocks); err != nil {
+		return err
+	}
+	return v.Range(func(off int, seg []byte) error {
+		readSlabRange(s.root, s.bg, s.blockSize, start+uint64(off), seg)
+		return nil
+	})
+}
+
+// WriteBlocksVec implements VecDevice; snapshots are read-only.
+func (s *Snapshot) WriteBlocksVec(uint64, BlockVec) error { return ErrReadOnly }
 
 // Sync implements Device.
 func (s *Snapshot) Sync() error { return nil }

@@ -24,7 +24,10 @@ type StatsDevice struct {
 	traceOn    bool
 }
 
-var _ RangeDevice = (*StatsDevice)(nil)
+var (
+	_ RangeDevice = (*StatsDevice)(nil)
+	_ VecDevice   = (*StatsDevice)(nil)
+)
 
 // NewStatsDevice wraps inner with I/O accounting.
 func NewStatsDevice(inner Device) *StatsDevice {
@@ -122,6 +125,39 @@ func (d *StatsDevice) WriteBlocks(start uint64, src []byte) error {
 	d.mu.Lock()
 	d.stats.Writes += n
 	d.stats.BytesWrite += uint64(len(src))
+	if d.traceOn {
+		for i := uint64(0); i < n; i++ {
+			d.writeTrace = append(d.writeTrace, start+i)
+		}
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// ReadBlocksVec implements VecDevice; the vec's blocks count exactly as the
+// per-block path would, so write-amplification accounting is unchanged by
+// scatter-gather.
+func (d *StatsDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	if err := ReadBlocksVec(d.inner, start, v); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.stats.Reads += uint64(v.Len())
+	d.stats.BytesRead += uint64(v.Bytes())
+	d.mu.Unlock()
+	return nil
+}
+
+// WriteBlocksVec implements VecDevice. The write trace records every block
+// of the vec in ascending order, as the per-block path would.
+func (d *StatsDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	if err := WriteBlocksVec(d.inner, start, v); err != nil {
+		return err
+	}
+	n := uint64(v.Len())
+	d.mu.Lock()
+	d.stats.Writes += n
+	d.stats.BytesWrite += uint64(v.Bytes())
 	if d.traceOn {
 		for i := uint64(0); i < n; i++ {
 			d.writeTrace = append(d.writeTrace, start+i)

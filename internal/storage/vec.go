@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockVec is a scatter-gather buffer: an ordered list of byte segments,
+// each a whole number of blocks, addressing one contiguous block range of a
+// device. It is the unit of the zero-copy I/O contract — a merged request
+// hands the device the callers' own buffers instead of gathering them into
+// a scratch copy, the way the kernel's bio_vec carries pages instead of a
+// flat buffer.
+//
+// A BlockVec never owns its segments; it is a view over buffers the caller
+// provides, and Slice returns sub-views sharing the same memory. Devices
+// must treat read segments as write-only destinations and write segments as
+// read-only sources.
+type BlockVec struct {
+	bs   int
+	segs [][]byte
+}
+
+// Vec builds a BlockVec over segs for block size bs. Every segment must be
+// a non-empty whole number of blocks; Vec panics otherwise (a malformed vec
+// is a programming error, like an out-of-range slice).
+func Vec(bs int, segs ...[]byte) BlockVec {
+	if bs <= 0 {
+		panic("storage: non-positive block size")
+	}
+	for _, s := range segs {
+		if len(s) == 0 || len(s)%bs != 0 {
+			panic(fmt.Sprintf("storage: vec segment of %d bytes, block size %d", len(s), bs))
+		}
+	}
+	return BlockVec{bs: bs, segs: segs}
+}
+
+// BlockSize returns the block size the vec's segments are counted in.
+func (v BlockVec) BlockSize() int { return v.bs }
+
+// Len returns the vec's total length in blocks.
+func (v BlockVec) Len() int {
+	n := 0
+	for _, s := range v.segs {
+		n += len(s) / v.bs
+	}
+	return n
+}
+
+// Bytes returns the vec's total length in bytes.
+func (v BlockVec) Bytes() int {
+	n := 0
+	for _, s := range v.segs {
+		n += len(s)
+	}
+	return n
+}
+
+// Segments returns how many segments the vec holds.
+func (v BlockVec) Segments() int { return len(v.segs) }
+
+// Seg returns segment i. The returned slice aliases the caller-owned
+// buffer.
+func (v BlockVec) Seg(i int) []byte { return v.segs[i] }
+
+// Append returns the vec extended by seg (same validity rules as Vec).
+// Like append on slices, the result may share the receiver's backing array.
+func (v BlockVec) Append(seg []byte) BlockVec {
+	if len(seg) == 0 || len(seg)%v.bs != 0 {
+		panic(fmt.Sprintf("storage: vec segment of %d bytes, block size %d", len(seg), v.bs))
+	}
+	return BlockVec{bs: v.bs, segs: append(v.segs, seg)}
+}
+
+// Slice returns the sub-vector covering blocks [blockOff, blockOff+nBlocks)
+// of v. The result shares the underlying segment memory — no bytes move —
+// with the boundary segments resliced as needed. Slice panics when the
+// range exceeds the vec, mirroring slice-expression semantics.
+func (v BlockVec) Slice(blockOff, nBlocks int) BlockVec {
+	if blockOff < 0 || nBlocks < 0 {
+		panic("storage: negative vec slice bounds")
+	}
+	if nBlocks == 0 {
+		return BlockVec{bs: v.bs}
+	}
+	first := 0
+	off := blockOff * v.bs
+	for first < len(v.segs) && off >= len(v.segs[first]) {
+		off -= len(v.segs[first])
+		first++
+	}
+	rem := nBlocks * v.bs
+	out := BlockVec{bs: v.bs}
+	for i := first; i < len(v.segs) && rem > 0; i++ {
+		s := v.segs[i][off:]
+		off = 0
+		if len(s) > rem {
+			s = s[:rem]
+		}
+		rem -= len(s)
+		out.segs = append(out.segs, s)
+	}
+	if rem > 0 {
+		panic(fmt.Sprintf("storage: vec slice [%d, %d) of %d-block vec",
+			blockOff, blockOff+nBlocks, v.Len()))
+	}
+	return out
+}
+
+// Range calls fn for every segment in order with the segment's block offset
+// inside the vec. fn returning an error stops the walk and Range returns
+// it.
+func (v BlockVec) Range(fn func(blockOff int, seg []byte) error) error {
+	off := 0
+	for _, s := range v.segs {
+		if err := fn(off, s); err != nil {
+			return err
+		}
+		off += len(s) / v.bs
+	}
+	return nil
+}
+
+// Flatten gathers the vec into one contiguous buffer. A single-segment vec
+// returns its segment directly (no copy, aliasing the caller's buffer);
+// otherwise a fresh buffer is allocated. It is the escape hatch for
+// consumers that genuinely need contiguity — the I/O paths should not.
+func (v BlockVec) Flatten() []byte {
+	if len(v.segs) == 1 {
+		return v.segs[0]
+	}
+	out := make([]byte, 0, v.Bytes())
+	for _, s := range v.segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// CopyIn scatters src across the vec's segments, returning the bytes
+// copied. Used by scratch-based fallbacks and tests; the zero-copy paths
+// never call it.
+func (v BlockVec) CopyIn(src []byte) int {
+	done := 0
+	for _, s := range v.segs {
+		if done >= len(src) {
+			break
+		}
+		done += copy(s, src[done:])
+	}
+	return done
+}
+
+// VecDevice is the optional scatter-gather extension of Device: a vec
+// operation moves v.Len() consecutive device blocks through the vec's
+// segments in order, in one call. It is RangeDevice generalized from one
+// destination buffer to many — implementations must behave exactly like
+// ReadBlocks/WriteBlocks over the flattened vec, without requiring the vec
+// to be flat.
+//
+// Like range ops, vec ops may fail with no partial effects or with a prefix
+// transferred; a block-granular implementation reports the prefix length
+// via PartialError (counted in blocks across all segments).
+type VecDevice interface {
+	Device
+	// ReadBlocksVec copies blocks [start, start+v.Len()) into the vec's
+	// segments in order.
+	ReadBlocksVec(start uint64, v BlockVec) error
+	// WriteBlocksVec stores the vec's segments, in order, as blocks
+	// [start, start+v.Len()).
+	WriteBlocksVec(start uint64, v BlockVec) error
+}
+
+// checkVecIO validates a vec request against a device geometry. A vec
+// whose block size disagrees with the device's is rejected; zero-length
+// vecs are valid no-ops.
+func checkVecIO(start uint64, v BlockVec, blockSize int, numBlocks uint64) error {
+	if len(v.segs) == 0 {
+		return nil
+	}
+	if v.bs != blockSize {
+		return fmt.Errorf("%w: vec block size %d, device %d",
+			ErrBadBuffer, v.bs, blockSize)
+	}
+	n := uint64(v.Len())
+	if start >= numBlocks || n > numBlocks-start {
+		return fmt.Errorf("%w: blocks [%d, %d), device has %d",
+			ErrOutOfRange, start, start+n, numBlocks)
+	}
+	return nil
+}
+
+// ReadBlocksVec reads v.Len() consecutive blocks of d starting at start,
+// scattered across v's segments. The fallback ladder: a VecDevice serves
+// the request natively; a single-segment vec degrades to the flat
+// ReadBlocks path (which itself falls back per block on plain Devices);
+// multi-segment vecs on non-vec devices degrade to one RangeDevice call
+// per segment, with PartialError block counts accumulated across the
+// segment boundary.
+func ReadBlocksVec(d Device, start uint64, v BlockVec) error {
+	if len(v.segs) == 1 && v.bs == d.BlockSize() {
+		// The degrade is only valid when the vec's block unit matches the
+		// device's; a mismatched vec falls through to the checked paths,
+		// which reject it with ErrBadBuffer.
+		return ReadBlocks(d, start, v.segs[0])
+	}
+	if vd, ok := d.(VecDevice); ok {
+		return vd.ReadBlocksVec(start, v)
+	}
+	return readVecSegmented(d, start, v)
+}
+
+// WriteBlocksVec writes v's segments, in order, as v.Len() consecutive
+// blocks of d starting at start, with the same fallback ladder as
+// ReadBlocksVec.
+func WriteBlocksVec(d Device, start uint64, v BlockVec) error {
+	if len(v.segs) == 1 && v.bs == d.BlockSize() {
+		return WriteBlocks(d, start, v.segs[0])
+	}
+	if vd, ok := d.(VecDevice); ok {
+		return vd.WriteBlocksVec(start, v)
+	}
+	return writeVecSegmented(d, start, v)
+}
+
+// readVecSegmented is the generic fallback behind ReadBlocksVec: one
+// RangeDevice read per segment. A segment failing with a PartialError has
+// the blocks of the preceding segments added to its Done count, so the
+// caller sees the transferred prefix of the whole vec.
+func readVecSegmented(d Device, start uint64, v BlockVec) error {
+	if err := checkVecIO(start, v, d.BlockSize(), d.NumBlocks()); err != nil {
+		return err
+	}
+	done := 0
+	for _, s := range v.segs {
+		if err := ReadBlocks(d, start+uint64(done), s); err != nil {
+			return vecSegmentError(err, done)
+		}
+		done += len(s) / v.bs
+	}
+	return nil
+}
+
+// writeVecSegmented is the generic fallback behind WriteBlocksVec.
+func writeVecSegmented(d Device, start uint64, v BlockVec) error {
+	if err := checkVecIO(start, v, d.BlockSize(), d.NumBlocks()); err != nil {
+		return err
+	}
+	done := 0
+	for _, s := range v.segs {
+		if err := WriteBlocks(d, start+uint64(done), s); err != nil {
+			return vecSegmentError(err, done)
+		}
+		done += len(s) / v.bs
+	}
+	return nil
+}
+
+// vecSegmentError rebases a segment-local error onto the whole vec: a
+// PartialError's Done count grows by the blocks the earlier segments
+// transferred. A failure with no partial-completion report after a
+// transferred prefix is itself a partial completion of the vec.
+func vecSegmentError(err error, before int) error {
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		return &PartialError{Done: before + pe.Done, Err: pe.Err}
+	}
+	if before > 0 {
+		return &PartialError{Done: before, Err: err}
+	}
+	return err
+}

@@ -238,6 +238,129 @@ type Pool struct {
 	// DummyBlocksWritten counts noise blocks produced by the dummy-write
 	// mechanism; experiments read it for write-amplification accounting.
 	dummyBlocksWritten uint64
+
+	// stage holds pre-generated dummy-write noise payloads. Writers refill
+	// it before entering the exclusive mapping lock (stageNoise), so the
+	// keystream generation for MobiCeal-policy dummy writes happens outside
+	// the writer critical section; dummyWriteLocked consumes staged blocks
+	// and only generates inline when the stage runs dry mid-burst.
+	stage noiseStage
+}
+
+// noiseStage is the pre-generated dummy-noise buffer stock, guarded by its
+// own mutex so refills never touch the pool's mapping lock. Consumed
+// buffers come back through free and are refilled with fresh keystream by
+// the next stageNoise, so steady-state dummy traffic allocates nothing.
+type noiseStage struct {
+	mu   sync.Mutex
+	bufs [][]byte
+	free [][]byte
+}
+
+// noiseStageTarget is how many noise blocks stageNoise keeps stocked — a
+// couple of exponential dummy bursts' worth at the paper's lambda values.
+const noiseStageTarget = 64
+
+// stageNoise refills the noise stage up to noiseStageTarget blocks. It is
+// called WITHOUT the pool's mapping lock, immediately before a provisioning
+// pass takes it, so the AES key schedule and keystream generation for the
+// policy's dummy writes are off the writer critical section. Pools without
+// a dummy policy never stage. Generation failures are ignored — the
+// consumer falls back to inline generation under the lock, as before.
+func (p *Pool) stageNoise() {
+	if p.opts.Policy == nil {
+		return
+	}
+	p.stage.mu.Lock()
+	need := noiseStageTarget - len(p.stage.bufs)
+	if need <= 0 {
+		p.stage.mu.Unlock()
+		return
+	}
+	// Reuse consumed buffers: their old keystream is overwritten below.
+	reuse := p.stage.free
+	if len(reuse) > need {
+		p.stage.free = reuse[:len(reuse)-need]
+		reuse = reuse[len(reuse)-need:]
+	} else {
+		p.stage.free = nil
+	}
+	p.stage.mu.Unlock()
+	burst, err := xcrypto.NewNoiseStream(p.opts.Entropy)
+	if err != nil {
+		p.recycleNoise(reuse...)
+		return
+	}
+	bs := p.data.BlockSize()
+	fresh := make([][]byte, need)
+	for i := range fresh {
+		if i < len(reuse) {
+			fresh[i] = reuse[i]
+		} else {
+			fresh[i] = make([]byte, bs)
+		}
+		burst.Fill(fresh[i])
+	}
+	p.stage.mu.Lock()
+	// Concurrent refills may have raced ahead while this one generated;
+	// cap at the target so the stage's memory stays bounded. The excess
+	// keystream was never observed, so recycling the buffers has no
+	// distinguishability consequence.
+	if room := noiseStageTarget - len(p.stage.bufs); room < len(fresh) {
+		if room < 0 {
+			room = 0
+		}
+		excess := fresh[room:]
+		fresh = fresh[:room]
+		if spare := noiseStageTarget - len(p.stage.free); spare > 0 {
+			if spare > len(excess) {
+				spare = len(excess)
+			}
+			p.stage.free = append(p.stage.free, excess[:spare]...)
+		}
+	}
+	p.stage.bufs = append(p.stage.bufs, fresh...)
+	p.stage.mu.Unlock()
+}
+
+// recycleNoise returns consumed (or unused) stage buffers to the free
+// list, bounded so the stage's total memory stays O(noiseStageTarget).
+func (p *Pool) recycleNoise(bufs ...[]byte) {
+	if len(bufs) == 0 {
+		return
+	}
+	p.stage.mu.Lock()
+	if spare := noiseStageTarget - len(p.stage.free); spare > 0 {
+		if spare > len(bufs) {
+			spare = len(bufs)
+		}
+		p.stage.free = append(p.stage.free, bufs[:spare]...)
+	}
+	p.stage.mu.Unlock()
+}
+
+// takeStagedNoise pops one staged noise block, or nil when the stage is
+// dry. Safe to call under the pool's mapping lock — the stage has its own
+// mutex and the pop is O(1).
+func (p *Pool) takeStagedNoise() []byte {
+	p.stage.mu.Lock()
+	defer p.stage.mu.Unlock()
+	n := len(p.stage.bufs)
+	if n == 0 {
+		return nil
+	}
+	b := p.stage.bufs[n-1]
+	p.stage.bufs[n-1] = nil
+	p.stage.bufs = p.stage.bufs[:n-1]
+	return b
+}
+
+// StagedNoiseBlocks reports how many pre-generated noise payloads are
+// currently stocked (tests observe the stage through it).
+func (p *Pool) StagedNoiseBlocks() int {
+	p.stage.mu.Lock()
+	defer p.stage.mu.Unlock()
+	return len(p.stage.bufs)
 }
 
 // newPool builds the shell shared by CreatePool and OpenPool.
@@ -619,16 +742,19 @@ func (p *Pool) provisionLocked(tm *thinMeta, vblock uint64) (uint64, error) {
 }
 
 // dummyWriteLocked performs one dummy write: count noise blocks into the
-// target thin device at random unmapped virtual offsets. One throwaway
-// keystream covers the whole burst (its key is discarded with the stream
-// when the burst ends), so a lambda-block dummy write costs one AES key
-// schedule instead of lambda. Caller holds p.mu.
+// target thin device at random unmapped virtual offsets. Noise payloads
+// come from the pre-generated stage when stocked (writers refill it
+// outside the mapping lock via stageNoise); when the stage runs dry
+// mid-burst, one throwaway keystream covers the rest of the burst inline
+// (its key is discarded with the stream when the burst ends), so even the
+// dry path costs one AES key schedule per burst instead of per block.
+// Caller holds p.mu.
 func (p *Pool) dummyWriteLocked(target, count int) error {
 	tm, ok := p.thins[target]
 	if !ok {
 		return fmt.Errorf("%w: dummy target %d", ErrNoSuchThin, target)
 	}
-	noise := make([]byte, p.data.BlockSize())
+	var inline []byte
 	var burst *xcrypto.NoiseStream
 	for i := 0; i < count; i++ {
 		if tm.pt.count >= tm.virtBlocks || p.bm.Free() == 0 {
@@ -648,19 +774,34 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 		tm.mapSet(vb, pb)
 		tm.noteMapped(vb)
 		p.markThinDirty(tm.id)
-		if burst == nil {
-			burst, err = xcrypto.NewNoiseStream(p.opts.Entropy)
-			if err != nil {
-				return fmt.Errorf("thinp: generating noise: %w", err)
+		noise := p.takeStagedNoise()
+		staged := noise != nil
+		if !staged {
+			if burst == nil {
+				burst, err = xcrypto.NewNoiseStream(p.opts.Entropy)
+				if err != nil {
+					return fmt.Errorf("thinp: generating noise: %w", err)
+				}
+				inline = make([]byte, p.data.BlockSize())
 			}
+			noise = inline
+			burst.Fill(noise)
 		}
-		burst.Fill(noise)
 		if p.opts.Meter != nil {
 			// Noise generation is an encryption pass (same algorithm,
-			// discarded key) and costs the same CPU time.
+			// discarded key) and costs the same CPU time. It is charged at
+			// consumption regardless of whether the keystream was staged
+			// ahead of the lock, so virtual-clock metrics do not depend on
+			// the staging optimization.
 			p.opts.Meter.ChargeCrypto(len(noise))
 		}
-		if err := p.data.WriteBlock(pb, noise); err != nil {
+		werr := p.data.WriteBlock(pb, noise)
+		if staged {
+			// The device copied (or rejected) the payload; the buffer goes
+			// back for the next refill to overwrite.
+			p.recycleNoise(noise)
+		}
+		if err := werr; err != nil {
 			// Unwind the mapping of the block whose noise never landed: a
 			// mapped dummy block holding stale background content instead
 			// of keystream output would be distinguishable from real

@@ -16,7 +16,10 @@ type Thin struct {
 	id   int
 }
 
-var _ storage.RangeDevice = (*Thin)(nil)
+var (
+	_ storage.RangeDevice = (*Thin)(nil)
+	_ storage.VecDevice   = (*Thin)(nil)
+)
 
 // ID returns the thin device id.
 func (t *Thin) ID() int { return t.id }
@@ -35,8 +38,8 @@ func (t *Thin) NumBlocks() uint64 {
 	return tm.virtBlocks
 }
 
-// ReadBlock implements storage.Device. It is the single-block case of
-// ReadBlocks and shares its locking discipline.
+// ReadBlock implements storage.Device. It is the single-block case of the
+// vectored read and shares its locking discipline.
 func (t *Thin) ReadBlock(idx uint64, dst []byte) error {
 	if len(dst) != t.pool.data.BlockSize() {
 		return storage.ErrBadBuffer
@@ -44,13 +47,46 @@ func (t *Thin) ReadBlock(idx uint64, dst []byte) error {
 	return t.ReadBlocks(idx, dst)
 }
 
-// WriteBlock implements storage.Device. It is the single-block case of
-// WriteBlocks and shares its locking discipline.
+// WriteBlock implements storage.Device. It is the single-block case of the
+// vectored write and shares its locking discipline.
 func (t *Thin) WriteBlock(idx uint64, src []byte) error {
 	if len(src) != t.pool.data.BlockSize() {
 		return storage.ErrBadBuffer
 	}
 	return t.WriteBlocks(idx, src)
+}
+
+// ReadBlocks implements storage.RangeDevice as the single-segment case of
+// ReadBlocksVec.
+func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
+	v, err := t.vecOf(dst)
+	if err != nil {
+		return err
+	}
+	return t.ReadBlocksVec(start, v)
+}
+
+// WriteBlocks implements storage.RangeDevice as the single-segment case of
+// WriteBlocksVec.
+func (t *Thin) WriteBlocks(start uint64, src []byte) error {
+	v, err := t.vecOf(src)
+	if err != nil {
+		return err
+	}
+	return t.WriteBlocksVec(start, v)
+}
+
+// vecOf wraps a flat buffer as a vec. An empty buffer becomes the empty
+// vec (storage.Vec rejects empty segments; an empty range op is a valid
+// no-op that must still surface ErrNoSuchThin through the vec path).
+func (t *Thin) vecOf(buf []byte) (storage.BlockVec, error) {
+	if len(buf)%t.pool.data.BlockSize() != 0 {
+		return storage.BlockVec{}, storage.ErrBadBuffer
+	}
+	if len(buf) == 0 {
+		return storage.BlockVec{}, nil
+	}
+	return storage.Vec(t.pool.data.BlockSize(), buf), nil
 }
 
 // extent is one physically-resolved run of a virtual range: count
@@ -82,37 +118,51 @@ func appendRun(exts []extent, phys uint64, hole bool) []extent {
 	return append(exts, extent{phys: phys, count: 1, hole: hole})
 }
 
-// checkRangeLocked validates a range request against the thin geometry and
-// returns its metadata record. Caller holds the pool lock.
-func (t *Thin) checkRangeLocked(start uint64, buf []byte) (*thinMeta, uint64, error) {
+// checkRangeLocked validates an n-block request at start against the thin
+// geometry and returns its metadata record. Caller holds the pool lock.
+func (t *Thin) checkRangeLocked(start, n uint64) (*thinMeta, error) {
 	tm, ok := t.pool.thins[t.id]
 	if !ok {
-		return nil, 0, fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
 	}
-	bs := t.pool.data.BlockSize()
-	if len(buf)%bs != 0 {
+	if n > 0 && (start >= tm.virtBlocks || n > tm.virtBlocks-start) {
+		return nil, fmt.Errorf("%w: vblocks [%d, %d) of %d",
+			storage.ErrOutOfRange, start, start+n, tm.virtBlocks)
+	}
+	return tm, nil
+}
+
+// checkVecLocked validates a vec request and returns the thin's record and
+// block count. Caller holds the pool lock.
+func (t *Thin) checkVecLocked(start uint64, v storage.BlockVec) (*thinMeta, uint64, error) {
+	if v.Segments() > 0 && v.BlockSize() != t.pool.data.BlockSize() {
+		if _, ok := t.pool.thins[t.id]; !ok {
+			return nil, 0, fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
+		}
 		return nil, 0, storage.ErrBadBuffer
 	}
-	n := uint64(len(buf) / bs)
-	if n > 0 && (start >= tm.virtBlocks || n > tm.virtBlocks-start) {
-		return nil, 0, fmt.Errorf("%w: vblocks [%d, %d) of %d",
-			storage.ErrOutOfRange, start, start+n, tm.virtBlocks)
+	n := uint64(v.Len())
+	tm, err := t.checkRangeLocked(start, n)
+	if err != nil {
+		return nil, 0, err
 	}
 	return tm, n, nil
 }
 
-// ReadBlocks implements storage.RangeDevice. The pool's shared lock is
-// taken once for the whole request and held across the data-device reads:
-// the mapping resolution and the transfers it authorizes are atomic
-// against discard/commit, so a physical block can never be freed,
-// committed away and reallocated to another thin while a read of it is in
-// flight. Concurrent readers — of this thin or any other — share the lock
-// and never contend; physically contiguous runs become single data-device
-// reads and holes become zero fills.
-func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
+// ReadBlocksVec implements storage.VecDevice. The pool's shared lock is
+// taken once for the whole vec and held across the data-device reads: the
+// mapping resolution and the transfers it authorizes are atomic against
+// discard/commit, so a physical block can never be freed, committed away
+// and reallocated to another thin while a read of it is in flight.
+// Concurrent readers — of this thin or any other — share the lock and
+// never contend. Physically contiguous extent runs map to sub-vectors of
+// the caller's own segments (Slice shares memory, no bytes move) and go
+// down as single scatter-gather data-device reads; holes zero-fill the
+// destination segments directly.
+func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 	var extArr [16]extent
 	t.pool.mu.RLock()
-	tm, n, err := t.checkRangeLocked(start, dst)
+	tm, n, err := t.checkVecLocked(start, v)
 	if err != nil {
 		t.pool.mu.RUnlock()
 		return err
@@ -124,24 +174,22 @@ func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
 		exts = appendRun(exts, pb, !mapped)
 	})
 	meter := t.pool.opts.Meter
-	bs := t.pool.data.BlockSize()
 	off := 0
 	for _, e := range exts {
-		span := e.count * bs
-		buf := dst[off : off+span]
-		switch {
-		case e.hole:
-			clear(buf)
-		case e.count == 1:
-			err = t.pool.data.ReadBlock(e.phys, buf)
-		default:
-			err = storage.ReadBlocks(t.pool.data, e.phys, buf)
+		sub := v.Slice(off, e.count)
+		if e.hole {
+			err = sub.Range(func(_ int, seg []byte) error {
+				clear(seg)
+				return nil
+			})
+		} else {
+			err = storage.ReadBlocksVec(t.pool.data, e.phys, sub)
 		}
 		if err != nil {
 			t.pool.mu.RUnlock()
 			return err
 		}
-		off += span
+		off += e.count
 	}
 	t.pool.mu.RUnlock()
 
@@ -161,8 +209,8 @@ func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
 // but the fallback bounds the loop regardless.
 const writeAttempts = 4
 
-// WriteBlocks implements storage.RangeDevice. A range whose blocks are
-// all provisioned resolves and writes under the pool's shared lock —
+// WriteBlocksVec implements storage.VecDevice. A vec whose blocks are all
+// provisioned resolves and writes under the pool's shared lock —
 // concurrent overwriters never contend, and holding the lock across the
 // transfer means a concurrent discard+commit can never free a block and
 // hand it to another thin while this request's data is in flight. When
@@ -173,7 +221,11 @@ const writeAttempts = 4
 // re-resolve sees the current mapping, including blocks a racing writer
 // provisioned first). After writeAttempts races the request completes
 // under the exclusive lock outright.
-func (t *Thin) WriteBlocks(start uint64, src []byte) error {
+//
+// Extent runs map to sub-vectors of the caller's own segments; the data
+// device sees the caller's buffers directly — the thin layer moves no
+// payload bytes.
+func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 	var extArr [16]extent
 	var fresh []uint64 // vblocks provisioned by this request, data not yet landed
 	for attempt := 0; ; attempt++ {
@@ -181,9 +233,13 @@ func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 		lock, unlock := t.pool.mu.RLock, t.pool.mu.RUnlock
 		if exclusive {
 			lock, unlock = t.pool.mu.Lock, t.pool.mu.Unlock
+			// The pool will hold the writer critical section from
+			// provisioning until the transfer completes; stage dummy-write
+			// noise before entering it.
+			t.pool.stageNoise()
 		}
 		lock()
-		tm, n, err := t.checkRangeLocked(start, src)
+		tm, n, err := t.checkVecLocked(start, v)
 		if err != nil {
 			unlock()
 			t.unwindFresh(fresh, start) // nothing landed
@@ -212,14 +268,14 @@ func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 				})
 			} else {
 				unlock()
-				if err := t.provisionHoles(start, src, &fresh); err != nil {
+				if err := t.provisionHoles(start, n, &fresh); err != nil {
 					return err
 				}
 				continue
 			}
 		}
 		meter := t.pool.opts.Meter
-		done, werr := t.writeExtentsLocked(src, exts)
+		done, werr := t.writeExtentsLocked(v, exts)
 		unlock()
 		if werr != nil {
 			// Discard this request's provisions whose data never landed:
@@ -242,11 +298,14 @@ func (t *Thin) WriteBlocks(start uint64, src []byte) error {
 
 // provisionHoles provisions, under one exclusive-lock acquisition, every
 // currently unmapped block of the range, appending the provisioned
-// vblocks to *fresh.
-func (t *Thin) provisionHoles(start uint64, src []byte, fresh *[]uint64) error {
+// vblocks to *fresh. Dummy-write noise is staged before the lock is
+// taken, so MobiCeal-policy pools do not hold the writer critical
+// section during keystream generation.
+func (t *Thin) provisionHoles(start, n uint64, fresh *[]uint64) error {
+	t.pool.stageNoise()
 	t.pool.mu.Lock()
 	defer t.pool.mu.Unlock()
-	tm, n, err := t.checkRangeLocked(start, src)
+	tm, err := t.checkRangeLocked(start, n)
 	if err != nil {
 		return err
 	}
@@ -275,23 +334,16 @@ func (t *Thin) provisionHolesLocked(tm *thinMeta, start, n uint64, fresh *[]uint
 	return nil
 }
 
-// writeExtentsLocked issues the resolved extent runs as coalesced
-// data-device calls, returning how many blocks landed. Caller holds the
-// pool lock (shared or exclusive) across the call — that is the point:
-// the mappings the extents were resolved from cannot change while the
-// data is in flight.
-func (t *Thin) writeExtentsLocked(src []byte, exts []extent) (uint64, error) {
-	bs := t.pool.data.BlockSize()
+// writeExtentsLocked issues the resolved extent runs as scatter-gather
+// data-device calls over sub-vectors of the caller's segments, returning
+// how many blocks landed. Caller holds the pool lock (shared or
+// exclusive) across the call — that is the point: the mappings the
+// extents were resolved from cannot change while the data is in flight.
+func (t *Thin) writeExtentsLocked(v storage.BlockVec, exts []extent) (uint64, error) {
 	off := 0
 	done := uint64(0) // blocks whose data reached the device
 	for _, e := range exts {
-		span := e.count * bs
-		var werr error
-		if e.count == 1 {
-			werr = t.pool.data.WriteBlock(e.phys, src[off:off+span])
-		} else {
-			werr = storage.WriteBlocks(t.pool.data, e.phys, src[off:off+span])
-		}
+		werr := storage.WriteBlocksVec(t.pool.data, e.phys, v.Slice(off, e.count))
 		if werr != nil {
 			var pe *storage.PartialError
 			if errors.As(werr, &pe) {
@@ -300,7 +352,7 @@ func (t *Thin) writeExtentsLocked(src []byte, exts []extent) (uint64, error) {
 			return done, werr
 		}
 		done += uint64(e.count)
-		off += span
+		off += e.count
 	}
 	return done, nil
 }

@@ -10,7 +10,10 @@ type CostDevice struct {
 	meter *Meter
 }
 
-var _ storage.RangeDevice = (*CostDevice)(nil)
+var (
+	_ storage.RangeDevice = (*CostDevice)(nil)
+	_ storage.VecDevice   = (*CostDevice)(nil)
+)
 
 // NewCostDevice wraps inner so that all traffic is charged to meter.
 func NewCostDevice(inner storage.Device, meter *Meter) *CostDevice {
@@ -66,6 +69,35 @@ func (d *CostDevice) WriteBlocks(start uint64, src []byte) error {
 	}
 	bs := d.inner.BlockSize()
 	for i := 0; i*bs < len(src); i++ {
+		d.meter.ChargeWrite(start+uint64(i), bs)
+	}
+	return nil
+}
+
+// ReadBlocksVec implements storage.VecDevice. Charges are per block at
+// consecutive indexes regardless of segmentation, so the virtual-clock
+// price of a request does not depend on how a scheduler scattered it.
+func (d *CostDevice) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	if err := storage.ReadBlocksVec(d.inner, start, v); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		d.meter.ChargeRead(start+uint64(i), bs)
+	}
+	return nil
+}
+
+// WriteBlocksVec implements storage.VecDevice with the same per-block
+// charging as ReadBlocksVec.
+func (d *CostDevice) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	if err := storage.WriteBlocksVec(d.inner, start, v); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	n := v.Len()
+	for i := 0; i < n; i++ {
 		d.meter.ChargeWrite(start+uint64(i), bs)
 	}
 	return nil
