@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5
+.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 fault-soak
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -27,3 +27,17 @@ bench-pr4:
 # scratch-copy merge, plus the PR 4 drift re-runs (see BENCH_PR5.json).
 bench-pr5:
 	./cmd/experiments/bench_pr5.sh
+
+# Robustness benchmark set: scheduler retry-path overhead with and without
+# faults, thin-write drift with the health-mode gates in place, and the
+# Fig. 4 serial-path guard (see BENCH_PR6.json).
+bench-pr6:
+	./cmd/experiments/bench_pr6.sh
+
+# Short-budget robustness soak: every fault-injection, health-ladder,
+# retry and sweep suite under the race detector, twice. Mirrors the CI
+# fault-soak job; the full sweeps (no -short stride) run in `make test`.
+fault-soak:
+	$(GO) test -race -count=2 \
+		-run 'Fault|Flaky|Mode|Sweep|Retry|Barrier|Stress|NoSpace|Deadline|Health' \
+		./internal/storage/ ./internal/ioq/ ./internal/thinp/ ./internal/core/ .

@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench_pr6.sh — run the robustness benchmark set and emit the results as
+# JSON on stdout (the format committed in BENCH_PR6.json).
+#
+#   ./cmd/experiments/bench_pr6.sh > /tmp/bench.json
+#   BENCHTIME=2000x ./cmd/experiments/bench_pr6.sh    # quicker smoke run
+#
+# The set pins what the PR 6 resilience machinery costs when nothing
+# fails: BenchmarkRetryOverhead pits the scheduler's default retry policy
+# against retry disabled on a fault-free device (the pair must match), and
+# the faulty=1 variant shows what absorbing a seeded 2% transient-fault
+# stream costs end to end; BenchmarkThinWriteRandomAlloc re-runs the thin
+# write path with the pool health-mode gates in place for drift; and
+# BenchmarkFig4 is the serial-path regression guard whose *_virt
+# reproduction metrics must stay bit-identical.
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-20000x}"
+
+{
+	go test -run XXX -bench 'BenchmarkRetryOverhead' -benchtime "$BENCHTIME" ./internal/ioq/
+	go test -run XXX -bench 'BenchmarkThinWriteRandomAlloc' -benchtime "$BENCHTIME" ./internal/thinp/
+	go test -run XXX -bench 'BenchmarkFig4' -benchtime 1000x .
+} | go run ./cmd/experiments/benchjson

@@ -1,9 +1,24 @@
 package core
 
 import (
+	"time"
+
 	"mobiceal/internal/ioq"
 	"mobiceal/internal/storage"
 )
+
+// syncRetried flushes dev, riding out transient controller faults with the
+// same bounded retry the metadata commit path uses. Anything that still
+// fails after the retries — or is not transient to begin with — surfaces.
+func syncRetried(dev storage.Device) error {
+	const attempts = 4
+	err := dev.Sync()
+	for attempt := 1; err != nil && storage.IsTransient(err) && attempt < attempts; attempt++ {
+		time.Sleep(time.Duration(attempt) * 200 * time.Microsecond)
+		err = dev.Sync()
+	}
+	return err
+}
 
 // Scheduler returns the system's shared I/O scheduler, starting it on
 // first use. All volumes of the system submit through it, so concurrent
@@ -11,7 +26,10 @@ import (
 // and concurrent Flushes fold into single pool group commits.
 func (s *System) Scheduler() *ioq.Scheduler {
 	s.asyncOnce.Do(func() {
-		s.sched = ioq.NewScheduler(ioq.Options{Workers: s.cfg.AsyncWorkers})
+		s.sched = ioq.NewScheduler(ioq.Options{
+			Workers: s.cfg.AsyncWorkers,
+			Retry:   s.cfg.Retry,
+		})
 	})
 	return s.sched
 }
@@ -32,7 +50,7 @@ func (s *System) Close() error {
 	// both — but the pool supports distinct devices, and a committed
 	// mapping must never point at data still sitting in a volatile
 	// cache.)
-	if err := s.pool.DataDevice().Sync(); err != nil {
+	if err := syncRetried(s.pool.DataDevice()); err != nil {
 		return err
 	}
 	return s.pool.Commit()
@@ -56,7 +74,7 @@ func (s *System) FlushAll() error {
 	if err := ioq.WaitAll(futs...); err != nil {
 		return err
 	}
-	if err := s.pool.DataDevice().Sync(); err != nil {
+	if err := syncRetried(s.pool.DataDevice()); err != nil {
 		return err
 	}
 	return s.pool.Commit()

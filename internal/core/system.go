@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mobiceal/internal/dm"
 	"mobiceal/internal/ioq"
@@ -61,6 +62,14 @@ type Config struct {
 	// (Volume.SubmitRead/SubmitWrite/Flush). 0 selects the scheduler's
 	// default (max(2, GOMAXPROCS)).
 	AsyncWorkers int
+	// NoSpaceTimeout bounds how long a write needing provisioning queues
+	// while the pool is out of data space before failing — dm-thin's
+	// no_space_timeout. 0 (the default) fails fast.
+	NoSpaceTimeout time.Duration
+	// Retry tunes the scheduler's transient-fault retry policy for the
+	// async volume API. The zero value selects the default policy (3
+	// attempts, exponential backoff); MaxAttempts < 0 disables retry.
+	Retry ioq.RetryPolicy
 }
 
 func (c *Config) fill() error {
@@ -338,11 +347,12 @@ func (s *System) buildPool(create bool) error {
 		allocator = thinp.NewSequentialAllocator()
 	}
 	opts := thinp.Options{
-		Allocator: allocator,
-		Policy:    s.policy,
-		Entropy:   s.cfg.Entropy,
-		DummySrc:  prng.NewSource(src.Uint64()),
-		Meter:     s.cfg.Meter,
+		Allocator:      allocator,
+		Policy:         s.policy,
+		Entropy:        s.cfg.Entropy,
+		DummySrc:       prng.NewSource(src.Uint64()),
+		Meter:          s.cfg.Meter,
+		NoSpaceTimeout: s.cfg.NoSpaceTimeout,
 	}
 	if create {
 		s.pool, err = thinp.CreatePool(data, metaDev, opts)
@@ -376,6 +386,33 @@ func (s *System) DataBlocks() uint64 { return s.dataBlocks }
 
 // Commit persists pool metadata.
 func (s *System) Commit() error { return s.pool.Commit() }
+
+// Health is a snapshot of the system's degradation state: the thin pool's
+// health-ladder mode with the reason for the last degradation, and the I/O
+// scheduler's fault counters (retries fired, requests recovered by retry,
+// deadline timeouts, hard failures, failed durability barriers).
+type Health struct {
+	// Mode is the pool health mode: thinp.PoolWrite in normal operation,
+	// escalating through OutOfDataSpace and ReadOnly to Fail.
+	Mode thinp.PoolMode
+	// Reason explains the last degradation; empty while Mode is PoolWrite.
+	Reason string
+	// IO is the scheduler's cumulative fault accounting.
+	IO ioq.Stats
+}
+
+// Healthy reports whether the system is fully operational.
+func (h Health) Healthy() bool { return h.Mode == thinp.PoolWrite }
+
+// Health reports the system's current degradation state. Callers poll it
+// after I/O errors to distinguish a transient hiccup (mode still Write,
+// recoveries visible in IO.Recovered) from a degraded pool that needs
+// reclaim (OutOfDataSpace), a remount (ReadOnly) or is lost until reopen
+// (Fail).
+func (s *System) Health() Health {
+	mode, reason := s.pool.Status()
+	return Health{Mode: mode, Reason: reason, IO: s.Scheduler().Stats()}
+}
 
 // Recovery reports the mount-time A/B slot selection the pool performed
 // when this System was opened — which metadata slot won, at which

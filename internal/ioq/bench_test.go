@@ -249,3 +249,51 @@ func BenchmarkVolumeService(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRetryOverhead pits the scheduler with retry disabled against the
+// default retry policy on a fault-free device. The resilience machinery —
+// per-attempt bookkeeping, transient classification, deadline checks — sits
+// on every dispatch, so its no-fault cost must stay at zero; the committed
+// BENCH_PR6.json pair pins that. The faulty=1 variants run the same loop
+// with a seeded 2% transient-fault stream, showing what absorbing real
+// faults costs end to end (retried requests pay the backoff sleep).
+func BenchmarkRetryOverhead(b *testing.B) {
+	const reqBlocks = 4
+	for _, faulty := range []int{0, 1} {
+		for _, mode := range []string{"off", "on"} {
+			if faulty == 1 && mode == "off" {
+				continue // a fault stream without retry just fails requests
+			}
+			b.Run(fmt.Sprintf("faulty=%d/retry=%s", faulty, mode), func(b *testing.B) {
+				inner := storage.NewMemDevice(blockSize, 4096)
+				var dev storage.Device = inner
+				if faulty == 1 {
+					dev = storage.NewFlakyDevice(inner, storage.FlakyOptions{
+						Seed:          1,
+						TransientRate: 0.02,
+					})
+				}
+				opts := Options{Workers: 1}
+				if mode == "off" {
+					opts.Retry = RetryPolicy{MaxAttempts: -1}
+				}
+				s := NewScheduler(opts)
+				defer s.Close()
+				q := s.Register(dev)
+				buf := make([]byte, reqBlocks*blockSize)
+				b.SetBytes(reqBlocks * blockSize)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					off := uint64(i*reqBlocks) % (4096 - reqBlocks)
+					if err := q.SubmitWrite(off, buf).Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if st := s.Stats(); st.Recovered > 0 {
+					b.ReportMetric(float64(st.Recovered), "recovered")
+				}
+			})
+		}
+	}
+}

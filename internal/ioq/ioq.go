@@ -37,12 +37,56 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mobiceal/internal/storage"
 )
 
 // ErrClosed reports a submission to a closed scheduler.
 var ErrClosed = errors.New("ioq: scheduler closed")
+
+// ErrDeadline reports a request that exceeded its per-request deadline
+// before it could execute (or finish retrying). The request did not
+// necessarily reach the device.
+var ErrDeadline = errors.New("ioq: request deadline exceeded")
+
+// ErrBarrier reports a request failed because the Flush barrier it was
+// parked behind could not establish durability: the device Sync failed
+// (after retries), so everything frozen behind that barrier completes with
+// this error wrapping the Sync failure rather than silently proceeding
+// against a device whose flush just failed.
+var ErrBarrier = errors.New("ioq: flush barrier failed")
+
+// RetryPolicy bounds the scheduler's transient-fault retry: a request that
+// fails with a storage.IsTransient error is re-executed with capped
+// exponential backoff. Unclassified and permanent errors never retry, so
+// the policy is inert on fault-free stacks.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, first
+	// attempt included. 0 selects the default (3); negative disables
+	// retry entirely.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// subsequent retry. Default 500µs.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth. Default 10ms.
+	MaxDelay time.Duration
+}
+
+func (p *RetryPolicy) fill() {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 500 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Millisecond
+	}
+}
 
 // Options configures a Scheduler.
 type Options struct {
@@ -58,6 +102,10 @@ type Options struct {
 	// MergeBlocks caps the size, in blocks, of one coalesced device
 	// operation. Default 128.
 	MergeBlocks int
+	// Retry is the transient-fault retry policy. The zero value enables
+	// the default policy (3 attempts, 500µs base, 10ms cap); set
+	// MaxAttempts negative to disable retry.
+	Retry RetryPolicy
 }
 
 func (o *Options) fill() {
@@ -73,6 +121,33 @@ func (o *Options) fill() {
 	if o.MergeBlocks <= 0 {
 		o.MergeBlocks = 128
 	}
+	o.Retry.fill()
+}
+
+// Stats is a snapshot of the scheduler's failure accounting. All counters
+// are cumulative since the scheduler started.
+type Stats struct {
+	// Retries counts re-executions after transient faults.
+	Retries uint64
+	// Recovered counts requests that ultimately succeeded after at least
+	// one retry — faults the scheduler absorbed invisibly.
+	Recovered uint64
+	// Timeouts counts requests completed with ErrDeadline.
+	Timeouts uint64
+	// Failures counts requests completed with any non-nil error.
+	Failures uint64
+	// BarrierFailures counts Flush barriers whose device Sync failed
+	// (after retries), poisoning the requests parked behind them.
+	BarrierFailures uint64
+}
+
+// schedStats holds the live atomic counters behind Stats.
+type schedStats struct {
+	retries      atomic.Uint64
+	recovered    atomic.Uint64
+	timeouts     atomic.Uint64
+	failures     atomic.Uint64
+	barrierFails atomic.Uint64
 }
 
 // Scheduler owns the worker pool and the ready list of volume queues with
@@ -94,6 +169,19 @@ type Scheduler struct {
 	// closedFlag mirrors closed for the lock-free submission-path check:
 	// submit must not take the scheduler-global mutex per request.
 	closedFlag atomic.Bool
+
+	stats schedStats
+}
+
+// Stats snapshots the scheduler's cumulative failure accounting.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Retries:         s.stats.retries.Load(),
+		Recovered:       s.stats.recovered.Load(),
+		Timeouts:        s.stats.timeouts.Load(),
+		Failures:        s.stats.failures.Load(),
+		BarrierFailures: s.stats.barrierFails.Load(),
+	}
 }
 
 // NewScheduler starts a scheduler with opts (zero value: defaults).

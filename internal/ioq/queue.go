@@ -1,9 +1,11 @@
 package ioq
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"mobiceal/internal/storage"
 )
@@ -37,6 +39,10 @@ type request struct {
 	buf   []byte
 	count uint64
 	f     *Future
+	// deadline, when non-zero, bounds the request's time in the
+	// scheduler: a request still undispatched (or mid-retry) past its
+	// deadline completes with ErrDeadline instead of executing.
+	deadline time.Time
 }
 
 // blocks returns the request's length in device blocks.
@@ -109,6 +115,39 @@ func (q *VolumeQueue) checkBuf(buf []byte) (*Future, bool) {
 // Devices without discard support complete it as a no-op.
 func (q *VolumeQueue) SubmitDiscard(start, count uint64) *Future {
 	return q.submit(&request{op: OpDiscard, start: start, count: count, f: newFuture()})
+}
+
+// ReqOptions carries per-request submission options.
+type ReqOptions struct {
+	// Deadline, when non-zero, bounds the request's total time in the
+	// scheduler. A request whose deadline passes before it executes —
+	// parked behind a barrier, queued behind a burst, or mid-retry —
+	// completes with ErrDeadline without wedging the queue or any Flush
+	// barrier behind it. A request already at the device is never
+	// aborted mid-transfer; the deadline is checked at dispatch and
+	// between retries.
+	Deadline time.Time
+}
+
+// SubmitReadOpts is SubmitRead with per-request options.
+func (q *VolumeQueue) SubmitReadOpts(start uint64, dst []byte, o ReqOptions) *Future {
+	if f, ok := q.checkBuf(dst); !ok {
+		return f
+	}
+	return q.submit(&request{op: OpRead, start: start, buf: dst, f: newFuture(), deadline: o.Deadline})
+}
+
+// SubmitWriteOpts is SubmitWrite with per-request options.
+func (q *VolumeQueue) SubmitWriteOpts(start uint64, src []byte, o ReqOptions) *Future {
+	if f, ok := q.checkBuf(src); !ok {
+		return f
+	}
+	return q.submit(&request{op: OpWrite, start: start, buf: src, f: newFuture(), deadline: o.Deadline})
+}
+
+// SubmitDiscardOpts is SubmitDiscard with per-request options.
+func (q *VolumeQueue) SubmitDiscardOpts(start, count uint64, o ReqOptions) *Future {
+	return q.submit(&request{op: OpDiscard, start: start, count: count, f: newFuture(), deadline: o.Deadline})
 }
 
 // Flush submits a sync barrier: its future completes after every request
@@ -210,12 +249,18 @@ func (q *VolumeQueue) dispatch() {
 		// (Enqueue cannot fail here — this worker is still live.)
 		q.s.enqueue(q)
 	}
-	if len(batch) > 0 {
-		q.run(batch)
+	nBatch := len(batch)
+	wasBarrier := nBatch == 1 && batch[0].op.isBarrier()
+	if wasBarrier {
+		q.runBarrier(batch[0])
+	} else if nBatch > 0 {
+		if live := q.expire(batch); len(live) > 0 {
+			q.run(live)
+		}
 	}
 	q.mu.Lock()
-	q.inflight -= len(batch)
-	if len(batch) == 1 && batch[0].op.isBarrier() {
+	q.inflight -= nBatch
+	if wasBarrier {
 		q.syncActive = false
 	}
 	wake := !q.queued && q.dispatchableLocked()
@@ -226,6 +271,62 @@ func (q *VolumeQueue) dispatch() {
 	if wake {
 		q.s.enqueue(q)
 	}
+}
+
+// runBarrier executes a dispatched barrier. A Flush whose device Sync
+// fails (after transient retries) leaves durability of everything behind
+// the barrier undefined, so the failure is propagated: every request
+// parked behind the barrier — frozen in pending while the Sync ran — is
+// completed with an ErrBarrier error wrapping the Sync failure instead of
+// being silently executed. Requests submitted after the failure surfaces
+// run normally; the caller decides whether the device is still worth
+// talking to.
+func (q *VolumeQueue) runBarrier(r *request) {
+	err := q.execOne(r)
+	if err != nil && r.op == OpSync {
+		q.s.stats.barrierFails.Add(1)
+		barrierErr := fmt.Errorf("%w: %w", ErrBarrier, err)
+		q.mu.Lock()
+		parked := q.pending
+		q.pending = nil
+		q.mu.Unlock()
+		for _, p := range parked {
+			q.finish(p, barrierErr)
+		}
+	}
+	q.finish(r, err)
+}
+
+// expire completes the requests of a drained batch whose deadline already
+// passed with ErrDeadline, returning the still-live remainder (in place).
+func (q *VolumeQueue) expire(batch []*request) []*request {
+	var now time.Time
+	live := batch[:0]
+	for _, r := range batch {
+		if !r.deadline.IsZero() {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if now.After(r.deadline) {
+				q.finish(r, fmt.Errorf("%w: block %d", ErrDeadline, r.start))
+				continue
+			}
+		}
+		live = append(live, r)
+	}
+	return live
+}
+
+// finish completes a request's future and folds the outcome into the
+// scheduler's failure accounting.
+func (q *VolumeQueue) finish(r *request, err error) {
+	if err != nil {
+		q.s.stats.failures.Add(1)
+		if errors.Is(err, ErrDeadline) {
+			q.s.stats.timeouts.Add(1)
+		}
+	}
+	r.f.complete(err)
 }
 
 // run elevator-sorts a batch, splits it into runs of adjacent same-kind
@@ -269,7 +370,7 @@ func (q *VolumeQueue) run(batch []*request) {
 func (q *VolumeQueue) exec(run []*request) {
 	if len(run) == 1 {
 		r := run[0]
-		r.f.complete(q.execOne(r))
+		q.finish(r, q.execOne(r))
 		return
 	}
 	start := run[0].start
@@ -288,14 +389,15 @@ func (q *VolumeQueue) exec(run []*request) {
 	}
 	if err == nil {
 		for _, r := range run {
-			r.f.complete(nil)
+			q.finish(r, nil)
 		}
 		return
 	}
 	// The merged operation failed; fall back to per-request execution so
-	// each caller learns exactly what happened to its own range.
+	// each caller learns exactly what happened to its own range (and so
+	// transient faults are retried at per-request granularity).
 	for _, r := range run {
-		r.f.complete(q.execOne(r))
+		q.finish(r, q.execOne(r))
 	}
 }
 
@@ -313,8 +415,58 @@ func (q *VolumeQueue) runVec(run []*request) storage.BlockVec {
 	return storage.Vec(q.dev.BlockSize(), segs...)
 }
 
-// execOne executes a single request directly against the device.
+// execOne executes a single request against the device, retrying
+// transient faults under the scheduler's RetryPolicy with capped
+// exponential backoff. Re-executing a whole request after a partial
+// transfer is safe: block reads and writes are idempotent, and the thin
+// layer below unwinds provisioning it could not complete.
+//
+// The attempt budget is per stall, not per request: a retry whose
+// PartialError shows a longer completed prefix than any earlier attempt
+// made progress, which refills the budget and resets the backoff — a
+// device limping forward block by block converges (bounded by the request
+// length), while a fault that pins the transfer in place still gives up
+// after MaxAttempts. A request with a deadline stops retrying once the
+// next backoff would overrun it and reports the device's error.
 func (q *VolumeQueue) execOne(r *request) error {
+	err := q.execDirect(r)
+	if err == nil || !storage.IsTransient(err) {
+		return err
+	}
+	pol := q.s.opts.Retry
+	delay := pol.BaseDelay
+	stall, best := 1, -1
+	for {
+		var pe *storage.PartialError
+		if errors.As(err, &pe) && pe.Done > best {
+			best = pe.Done
+			stall = 1
+			delay = pol.BaseDelay
+		}
+		if stall >= pol.MaxAttempts {
+			return err
+		}
+		if !r.deadline.IsZero() && time.Now().Add(delay).After(r.deadline) {
+			return err
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+		stall++
+		q.s.stats.retries.Add(1)
+		if err = q.execDirect(r); err == nil {
+			q.s.stats.recovered.Add(1)
+			return nil
+		}
+		if !storage.IsTransient(err) {
+			return err
+		}
+	}
+}
+
+// execDirect issues a single request's device operation, once.
+func (q *VolumeQueue) execDirect(r *request) error {
 	switch r.op {
 	case OpRead:
 		return storage.ReadBlocks(q.dev, r.start, r.buf)

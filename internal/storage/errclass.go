@@ -1,0 +1,34 @@
+package storage
+
+import "errors"
+
+// Error classification sentinels. Fault-injecting devices (and any future
+// real backend) attach one of these to the errors they return so upper
+// layers can pick a recovery policy without string matching:
+//
+//   - ErrTransient marks a fault that is expected to clear on retry — the
+//     storage analogue of a controller timeout or a bus hiccup. The ioq
+//     scheduler retries these with capped exponential backoff, and the
+//     pool's metadata commit retries slot writes before degrading.
+//   - ErrMedium marks an unrecoverable per-block medium error (a grown bad
+//     block). Retrying is pointless; callers fail the op and, where a
+//     defined degraded mode exists, enter it.
+//
+// Both compose with the existing fault machinery via errors.Is: an injected
+// transient fault satisfies errors.Is(err, ErrInjected) AND IsTransient.
+// Errors carrying neither class are treated as permanent (fail, no retry),
+// which keeps the pre-taxonomy behaviour for unclassified errors.
+var (
+	// ErrTransient classifies a fault that a retry may clear.
+	ErrTransient = errors.New("storage: transient fault")
+	// ErrMedium classifies an unrecoverable medium (bad-block) error.
+	ErrMedium = errors.New("storage: medium error")
+)
+
+// IsTransient reports whether err is classified as transient, i.e. a retry
+// of the same operation may succeed. PartialError wrapping is traversed.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsMedium reports whether err is classified as an unrecoverable medium
+// error (bad block). PartialError wrapping is traversed.
+func IsMedium(err error) bool { return errors.Is(err, ErrMedium) }

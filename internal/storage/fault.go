@@ -42,10 +42,14 @@ type FaultDevice struct {
 	mu          sync.Mutex
 	readsLeft   int
 	writesLeft  int
+	syncsLeft   int
 	readArmed   bool
 	writeArmed  bool
+	syncArmed   bool
+	class       error
 	failedReads uint64
 	failedWrite uint64
+	failedSyncs uint64
 }
 
 var (
@@ -76,11 +80,41 @@ func (d *FaultDevice) FailWritesAfter(n int) {
 	d.writesLeft = n
 }
 
+// FailSyncsAfter arms sync failures: the next n Sync calls succeed,
+// everything after fails with ErrInjected. Unlike reads/writes, the sync
+// budget is per call, not per block.
+func (d *FaultDevice) FailSyncsAfter(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncArmed = true
+	d.syncsLeft = n
+}
+
+// SetErrorClass attaches a classification sentinel (ErrTransient or
+// ErrMedium) to every subsequently injected fault, so errors.Is sees both
+// ErrInjected and the class. nil (the default) injects unclassified
+// faults, which upper layers treat as permanent.
+func (d *FaultDevice) SetErrorClass(class error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.class = class
+}
+
+// errf builds an injected fault, folding in the armed error class.
+// Caller holds d.mu.
+func (d *FaultDevice) errf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if d.class != nil {
+		return fmt.Errorf("%w (%w): %s", ErrInjected, d.class, msg)
+	}
+	return fmt.Errorf("%w: %s", ErrInjected, msg)
+}
+
 // Disarm clears all pending faults.
 func (d *FaultDevice) Disarm() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.readArmed, d.writeArmed = false, false
+	d.readArmed, d.writeArmed, d.syncArmed = false, false, false
 }
 
 // InjectedFailures reports how many reads and writes were failed.
@@ -103,7 +137,7 @@ func (d *FaultDevice) ReadBlock(idx uint64, dst []byte) error {
 		if d.readsLeft <= 0 {
 			d.failedReads++
 			d.mu.Unlock()
-			return fmt.Errorf("%w: read of block %d", ErrInjected, idx)
+			return d.errf("read of block %d", idx)
 		}
 		d.readsLeft--
 	}
@@ -118,7 +152,7 @@ func (d *FaultDevice) WriteBlock(idx uint64, src []byte) error {
 		if d.writesLeft <= 0 {
 			d.failedWrite++
 			d.mu.Unlock()
-			return fmt.Errorf("%w: write of block %d", ErrInjected, idx)
+			return d.errf("write of block %d", idx)
 		}
 		d.writesLeft--
 	}
@@ -141,14 +175,14 @@ func (d *FaultDevice) ReadBlocks(start uint64, dst []byte) error {
 		done := d.readsLeft
 		d.readsLeft = 0
 		d.failedReads++
+		ferr := d.errf("read of %d blocks at %d", n, start)
 		d.mu.Unlock()
 		if done > 0 {
 			if err := ReadBlocks(d.inner, start, dst[:done*bs]); err != nil {
 				return err
 			}
 		}
-		return &PartialError{Done: done, Err: fmt.Errorf(
-			"%w: read of %d blocks at %d", ErrInjected, n, start)}
+		return &PartialError{Done: done, Err: ferr}
 	}
 	if d.readArmed {
 		d.readsLeft -= n
@@ -167,14 +201,14 @@ func (d *FaultDevice) WriteBlocks(start uint64, src []byte) error {
 		done := d.writesLeft
 		d.writesLeft = 0
 		d.failedWrite++
+		ferr := d.errf("write of %d blocks at %d", n, start)
 		d.mu.Unlock()
 		if done > 0 {
 			if err := WriteBlocks(d.inner, start, src[:done*bs]); err != nil {
 				return err
 			}
 		}
-		return &PartialError{Done: done, Err: fmt.Errorf(
-			"%w: write of %d blocks at %d", ErrInjected, n, start)}
+		return &PartialError{Done: done, Err: ferr}
 	}
 	if d.writeArmed {
 		d.writesLeft -= n
@@ -195,14 +229,14 @@ func (d *FaultDevice) ReadBlocksVec(start uint64, v BlockVec) error {
 		done := d.readsLeft
 		d.readsLeft = 0
 		d.failedReads++
+		ferr := d.errf("read of %d blocks at %d", n, start)
 		d.mu.Unlock()
 		if done > 0 {
 			if err := ReadBlocksVec(d.inner, start, v.Slice(0, done)); err != nil {
 				return err
 			}
 		}
-		return &PartialError{Done: done, Err: fmt.Errorf(
-			"%w: read of %d blocks at %d", ErrInjected, n, start)}
+		return &PartialError{Done: done, Err: ferr}
 	}
 	if d.readArmed {
 		d.readsLeft -= n
@@ -220,14 +254,14 @@ func (d *FaultDevice) WriteBlocksVec(start uint64, v BlockVec) error {
 		done := d.writesLeft
 		d.writesLeft = 0
 		d.failedWrite++
+		ferr := d.errf("write of %d blocks at %d", n, start)
 		d.mu.Unlock()
 		if done > 0 {
 			if err := WriteBlocksVec(d.inner, start, v.Slice(0, done)); err != nil {
 				return err
 			}
 		}
-		return &PartialError{Done: done, Err: fmt.Errorf(
-			"%w: write of %d blocks at %d", ErrInjected, n, start)}
+		return &PartialError{Done: done, Err: ferr}
 	}
 	if d.writeArmed {
 		d.writesLeft -= n
@@ -236,8 +270,23 @@ func (d *FaultDevice) WriteBlocksVec(start uint64, v BlockVec) error {
 	return WriteBlocksVec(d.inner, start, v)
 }
 
-// Sync implements Device.
-func (d *FaultDevice) Sync() error { return d.inner.Sync() }
+// Sync implements Device. An armed sync budget fails the call without
+// reaching the inner device, the way a flush command times out at a dying
+// controller before any durability is established.
+func (d *FaultDevice) Sync() error {
+	d.mu.Lock()
+	if d.syncArmed {
+		if d.syncsLeft <= 0 {
+			d.failedSyncs++
+			err := d.errf("sync (%d failed)", d.failedSyncs)
+			d.mu.Unlock()
+			return err
+		}
+		d.syncsLeft--
+	}
+	d.mu.Unlock()
+	return d.inner.Sync()
+}
 
 // Close implements Device.
 func (d *FaultDevice) Close() error { return d.inner.Close() }

@@ -16,14 +16,22 @@ import (
 // provides, and Slice returns sub-views sharing the same memory. Devices
 // must treat read segments as write-only destinations and write segments as
 // read-only sources.
+//
+// The representation is a small-vec: the first segment lives inline in the
+// struct and only vecs with two or more segments carry a spine slice. A
+// single-segment vec — the overwhelmingly common shape on the thin I/O hot
+// path, where Slice carves per-extent sub-vectors out of one caller buffer —
+// is therefore built, copied and sliced without allocating.
 type BlockVec struct {
 	bs   int
-	segs [][]byte
+	seg0 []byte   // first segment, inline; nil means the vec is empty
+	rest [][]byte // segments after the first; nil for 0- and 1-segment vecs
 }
 
 // Vec builds a BlockVec over segs for block size bs. Every segment must be
 // a non-empty whole number of blocks; Vec panics otherwise (a malformed vec
-// is a programming error, like an out-of-range slice).
+// is a programming error, like an out-of-range slice). Multi-segment vecs
+// keep segs[1:] as their spine, sharing the caller's backing array.
 func Vec(bs int, segs ...[]byte) BlockVec {
 	if bs <= 0 {
 		panic("storage: non-positive block size")
@@ -33,7 +41,29 @@ func Vec(bs int, segs ...[]byte) BlockVec {
 			panic(fmt.Sprintf("storage: vec segment of %d bytes, block size %d", len(s), bs))
 		}
 	}
-	return BlockVec{bs: bs, segs: segs}
+	v := BlockVec{bs: bs}
+	if len(segs) > 0 {
+		v.seg0 = segs[0]
+	}
+	if len(segs) > 1 {
+		v.rest = segs[1:]
+	}
+	return v
+}
+
+// VecOne builds the single-segment vec over seg, with the same validity
+// rules as Vec. It is Vec specialized for the flat-buffer wrappers on the
+// I/O hot path: the variadic Vec lets its segment list escape into the
+// multi-segment spine, so even one-segment calls cost the temporary slice
+// an allocation — VecOne takes no slice at all and stays allocation-free.
+func VecOne(bs int, seg []byte) BlockVec {
+	if bs <= 0 {
+		panic("storage: non-positive block size")
+	}
+	if len(seg) == 0 || len(seg)%bs != 0 {
+		panic(fmt.Sprintf("storage: vec segment of %d bytes, block size %d", len(seg), bs))
+	}
+	return BlockVec{bs: bs, seg0: seg}
 }
 
 // BlockSize returns the block size the vec's segments are counted in.
@@ -41,8 +71,12 @@ func (v BlockVec) BlockSize() int { return v.bs }
 
 // Len returns the vec's total length in blocks.
 func (v BlockVec) Len() int {
-	n := 0
-	for _, s := range v.segs {
+	if v.seg0 == nil {
+		// Covers the zero-value BlockVec too, whose bs is 0.
+		return 0
+	}
+	n := len(v.seg0) / v.bs
+	for _, s := range v.rest {
 		n += len(s) / v.bs
 	}
 	return n
@@ -50,33 +84,53 @@ func (v BlockVec) Len() int {
 
 // Bytes returns the vec's total length in bytes.
 func (v BlockVec) Bytes() int {
-	n := 0
-	for _, s := range v.segs {
+	n := len(v.seg0)
+	for _, s := range v.rest {
 		n += len(s)
 	}
 	return n
 }
 
 // Segments returns how many segments the vec holds.
-func (v BlockVec) Segments() int { return len(v.segs) }
+func (v BlockVec) Segments() int {
+	if v.seg0 == nil {
+		return 0
+	}
+	return 1 + len(v.rest)
+}
 
 // Seg returns segment i. The returned slice aliases the caller-owned
 // buffer.
-func (v BlockVec) Seg(i int) []byte { return v.segs[i] }
+func (v BlockVec) Seg(i int) []byte {
+	if i == 0 {
+		if v.seg0 == nil {
+			panic("storage: segment index out of range")
+		}
+		return v.seg0
+	}
+	return v.rest[i-1]
+}
 
 // Append returns the vec extended by seg (same validity rules as Vec).
-// Like append on slices, the result may share the receiver's backing array.
+// Like append on slices, the result may share the receiver's backing
+// spine.
 func (v BlockVec) Append(seg []byte) BlockVec {
 	if len(seg) == 0 || len(seg)%v.bs != 0 {
 		panic(fmt.Sprintf("storage: vec segment of %d bytes, block size %d", len(seg), v.bs))
 	}
-	return BlockVec{bs: v.bs, segs: append(v.segs, seg)}
+	if v.seg0 == nil {
+		return BlockVec{bs: v.bs, seg0: seg}
+	}
+	return BlockVec{bs: v.bs, seg0: v.seg0, rest: append(v.rest, seg)}
 }
 
 // Slice returns the sub-vector covering blocks [blockOff, blockOff+nBlocks)
 // of v. The result shares the underlying segment memory — no bytes move —
-// with the boundary segments resliced as needed. Slice panics when the
-// range exceeds the vec, mirroring slice-expression semantics.
+// with the boundary segments resliced as needed. A result that fits in one
+// segment (every sub-vector of a single-segment vec, and most per-extent
+// carves on the thin hot path) is returned inline without allocating.
+// Slice panics when the range exceeds the vec, mirroring slice-expression
+// semantics.
 func (v BlockVec) Slice(blockOff, nBlocks int) BlockVec {
 	if blockOff < 0 || nBlocks < 0 {
 		panic("storage: negative vec slice bounds")
@@ -84,22 +138,27 @@ func (v BlockVec) Slice(blockOff, nBlocks int) BlockVec {
 	if nBlocks == 0 {
 		return BlockVec{bs: v.bs}
 	}
+	nseg := v.Segments()
 	first := 0
 	off := blockOff * v.bs
-	for first < len(v.segs) && off >= len(v.segs[first]) {
-		off -= len(v.segs[first])
+	for first < nseg && off >= len(v.Seg(first)) {
+		off -= len(v.Seg(first))
 		first++
 	}
 	rem := nBlocks * v.bs
 	out := BlockVec{bs: v.bs}
-	for i := first; i < len(v.segs) && rem > 0; i++ {
-		s := v.segs[i][off:]
+	for i := first; i < nseg && rem > 0; i++ {
+		s := v.Seg(i)[off:]
 		off = 0
 		if len(s) > rem {
 			s = s[:rem]
 		}
 		rem -= len(s)
-		out.segs = append(out.segs, s)
+		if out.seg0 == nil {
+			out.seg0 = s
+		} else {
+			out.rest = append(out.rest, s)
+		}
 	}
 	if rem > 0 {
 		panic(fmt.Sprintf("storage: vec slice [%d, %d) of %d-block vec",
@@ -112,8 +171,14 @@ func (v BlockVec) Slice(blockOff, nBlocks int) BlockVec {
 // inside the vec. fn returning an error stops the walk and Range returns
 // it.
 func (v BlockVec) Range(fn func(blockOff int, seg []byte) error) error {
-	off := 0
-	for _, s := range v.segs {
+	if v.seg0 == nil {
+		return nil
+	}
+	if err := fn(0, v.seg0); err != nil {
+		return err
+	}
+	off := len(v.seg0) / v.bs
+	for _, s := range v.rest {
 		if err := fn(off, s); err != nil {
 			return err
 		}
@@ -127,11 +192,12 @@ func (v BlockVec) Range(fn func(blockOff int, seg []byte) error) error {
 // otherwise a fresh buffer is allocated. It is the escape hatch for
 // consumers that genuinely need contiguity — the I/O paths should not.
 func (v BlockVec) Flatten() []byte {
-	if len(v.segs) == 1 {
-		return v.segs[0]
+	if len(v.rest) == 0 {
+		return v.seg0
 	}
 	out := make([]byte, 0, v.Bytes())
-	for _, s := range v.segs {
+	out = append(out, v.seg0...)
+	for _, s := range v.rest {
 		out = append(out, s...)
 	}
 	return out
@@ -141,8 +207,8 @@ func (v BlockVec) Flatten() []byte {
 // copied. Used by scratch-based fallbacks and tests; the zero-copy paths
 // never call it.
 func (v BlockVec) CopyIn(src []byte) int {
-	done := 0
-	for _, s := range v.segs {
+	done := copy(v.seg0, src)
+	for _, s := range v.rest {
 		if done >= len(src) {
 			break
 		}
@@ -175,7 +241,7 @@ type VecDevice interface {
 // whose block size disagrees with the device's is rejected; zero-length
 // vecs are valid no-ops.
 func checkVecIO(start uint64, v BlockVec, blockSize int, numBlocks uint64) error {
-	if len(v.segs) == 0 {
+	if v.seg0 == nil {
 		return nil
 	}
 	if v.bs != blockSize {
@@ -198,11 +264,11 @@ func checkVecIO(start uint64, v BlockVec, blockSize int, numBlocks uint64) error
 // per segment, with PartialError block counts accumulated across the
 // segment boundary.
 func ReadBlocksVec(d Device, start uint64, v BlockVec) error {
-	if len(v.segs) == 1 && v.bs == d.BlockSize() {
+	if v.seg0 != nil && len(v.rest) == 0 && v.bs == d.BlockSize() {
 		// The degrade is only valid when the vec's block unit matches the
 		// device's; a mismatched vec falls through to the checked paths,
 		// which reject it with ErrBadBuffer.
-		return ReadBlocks(d, start, v.segs[0])
+		return ReadBlocks(d, start, v.seg0)
 	}
 	if vd, ok := d.(VecDevice); ok {
 		return vd.ReadBlocksVec(start, v)
@@ -214,8 +280,8 @@ func ReadBlocksVec(d Device, start uint64, v BlockVec) error {
 // blocks of d starting at start, with the same fallback ladder as
 // ReadBlocksVec.
 func WriteBlocksVec(d Device, start uint64, v BlockVec) error {
-	if len(v.segs) == 1 && v.bs == d.BlockSize() {
-		return WriteBlocks(d, start, v.segs[0])
+	if v.seg0 != nil && len(v.rest) == 0 && v.bs == d.BlockSize() {
+		return WriteBlocks(d, start, v.seg0)
 	}
 	if vd, ok := d.(VecDevice); ok {
 		return vd.WriteBlocksVec(start, v)
@@ -232,13 +298,13 @@ func readVecSegmented(d Device, start uint64, v BlockVec) error {
 		return err
 	}
 	done := 0
-	for _, s := range v.segs {
+	return v.Range(func(_ int, s []byte) error {
 		if err := ReadBlocks(d, start+uint64(done), s); err != nil {
 			return vecSegmentError(err, done)
 		}
 		done += len(s) / v.bs
-	}
-	return nil
+		return nil
+	})
 }
 
 // writeVecSegmented is the generic fallback behind WriteBlocksVec.
@@ -247,13 +313,13 @@ func writeVecSegmented(d Device, start uint64, v BlockVec) error {
 		return err
 	}
 	done := 0
-	for _, s := range v.segs {
+	return v.Range(func(_ int, s []byte) error {
 		if err := WriteBlocks(d, start+uint64(done), s); err != nil {
 			return vecSegmentError(err, done)
 		}
 		done += len(s) / v.bs
-	}
-	return nil
+		return nil
+	})
 }
 
 // vecSegmentError rebases a segment-local error onto the whole vec: a

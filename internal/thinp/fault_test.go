@@ -61,9 +61,39 @@ func TestPoolCommitPropagatesMetaFaults(t *testing.T) {
 	if err := p.Commit(); !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("commit err = %v, want ErrInjected", err)
 	}
+	// A failed metadata commit degrades the pool to read-only: nothing new
+	// can become durable, so further commits and mutations are refused even
+	// after the device recovers — only a reopen resets the ladder.
+	if m, reason := p.Status(); m != PoolReadOnly || reason == "" {
+		t.Fatalf("mode after failed commit = %v (%q), want read-only", m, reason)
+	}
 	faulty.Disarm()
-	if err := p.Commit(); err != nil {
-		t.Fatalf("commit after recovery: %v", err)
+	if err := p.Commit(); !errors.Is(err, ErrReadOnlyMode) {
+		t.Fatalf("commit in read-only mode err = %v, want ErrReadOnlyMode", err)
+	}
+	if err := p.CreateThin(2, 8); !errors.Is(err, ErrReadOnlyMode) {
+		t.Fatalf("create-thin in read-only mode err = %v", err)
+	}
+	// Reads keep working in read-only mode.
+	thin, err := p.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, blockSize)
+	if err := thin.ReadBlock(0, buf); err != nil {
+		t.Fatalf("read in read-only mode: %v", err)
+	}
+	// A reopen on the recovered device reloads the last durable state and
+	// restores write mode.
+	p2, err := OpenPool(data, faulty, Options{Entropy: prng.NewSeededEntropy(2)})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if m := p2.Mode(); m != PoolWrite {
+		t.Fatalf("mode after reopen = %v, want write", m)
+	}
+	if err := p2.Commit(); err != nil {
+		t.Fatalf("commit after reopen: %v", err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"hash/crc64"
 	"math/bits"
 	"sort"
+	"time"
 
 	"mobiceal/internal/storage"
 )
@@ -371,8 +372,24 @@ func (p *Pool) groupCommit(full bool) error {
 // superblock buffer are owned by commitMu, which the caller holds), then
 // flip the active slot under the mapping lock again. The caller must hold
 // commitMu or have exclusive access to a pool under construction.
+// Metadata slot writes retry transient device faults a few times before
+// the commit gives up and degrades the pool: rewriting the dirty runs of
+// an inactive slot is idempotent, so a controller hiccup should not cost
+// the pool its write mode.
+const (
+	metaWriteAttempts = 4
+	metaRetryDelay    = 200 * time.Microsecond
+)
+
 func (p *Pool) commitOnce(full bool) error {
 	p.mu.Lock()
+	// A read-only or failed pool cannot make anything durable; refuse
+	// before touching the transaction record. Out-of-data-space pools
+	// still commit — that is how reclaim becomes durable.
+	if err := p.checkMutableLocked(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
 	// The new transaction id is published to p.txID only at the phase-3
 	// flip: until the superblock lands, TransactionID() must keep
 	// reporting the last durable transaction, not the one in flight.
@@ -427,6 +444,14 @@ func (p *Pool) commitOnce(full bool) error {
 	p.mu.Unlock()
 
 	ioErr := p.writeSlot(target, nBlocks, writeSet, super)
+	// Retry transient slot-write faults in place: the inactive slot's
+	// dirty runs are rewritten wholesale, so the retry is idempotent and
+	// a recovered hiccup leaves no trace but the delay.
+	for attempt := 1; ioErr != nil && storage.IsTransient(ioErr) &&
+		attempt < metaWriteAttempts; attempt++ {
+		time.Sleep(time.Duration(attempt) * metaRetryDelay)
+		ioErr = p.writeSlot(target, nBlocks, writeSet, super)
+	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -446,6 +471,12 @@ func (p *Pool) commitOnce(full bool) error {
 		for pb := range committedFree {
 			p.txFree[pb] = struct{}{}
 		}
+		// The metadata device will not take a commit: nothing new can
+		// become durable, so the pool degrades to read-only. The merge-back
+		// above left the in-memory delta intact, so reads keep serving the
+		// current state and a reopen recovers the last durable transaction.
+		p.setModeLocked(PoolReadOnly,
+			fmt.Sprintf("metadata commit failed: %v", ioErr))
 		return ioErr
 	}
 	writeSet.clearBelow(nBlocks)
@@ -456,9 +487,17 @@ func (p *Pool) commitOnce(full bool) error {
 	// allocator's view.
 	for pb := range committedFree {
 		if err := p.allocBM.Clear(pb); err != nil {
+			// The superblock flip already landed but the allocator view
+			// cannot be reconciled: in-memory state is no longer
+			// trustworthy. Fail the pool — only a reopen, which reloads
+			// the (fully durable) committed state, recovers.
+			p.setModeLocked(PoolFail,
+				fmt.Sprintf("post-commit bookkeeping: %v", err))
 			return fmt.Errorf("thinp: releasing quarantined block %d: %w", pb, err)
 		}
 	}
+	// Durable frees may have refilled the allocator's view.
+	p.maybeRecoverSpaceLocked()
 	return nil
 }
 

@@ -1,0 +1,183 @@
+package thinp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PoolMode is the pool health state — the reproduction of dm-thin's pool
+// mode ladder (PM_WRITE → PM_OUT_OF_DATA_SPACE → PM_READ_ONLY → PM_FAIL).
+// Severity only ever increases, with one documented exception: an
+// out-of-data-space pool recovers to Write when discard or GC reclaim (or
+// a commit releasing quarantined frees) makes blocks allocatable again.
+type PoolMode int
+
+// Pool health modes, in increasing severity.
+const (
+	// PoolWrite is normal operation: all operations permitted.
+	PoolWrite PoolMode = iota
+	// PoolOutOfDataSpace means provisioning failed for lack of free data
+	// blocks. Reads, overwrites of provisioned blocks, discards and
+	// commits still work; writes needing provisioning queue for up to
+	// Options.NoSpaceTimeout (dm-thin's no_space_timeout) or fail with
+	// ErrNoSpace. The pool returns to Write on reclaim.
+	PoolOutOfDataSpace
+	// PoolReadOnly means a metadata commit could not reach the device:
+	// nothing new can become durable, so every mutation fails with
+	// ErrReadOnlyMode while reads keep serving the current state. The
+	// failed commit's delta was merged back intact (the error-path
+	// merge-back), so a reopen recovers the last durable transaction.
+	PoolReadOnly
+	// PoolFail means the in-memory state is no longer trustworthy (a
+	// post-flip bookkeeping failure). All I/O fails; only a reopen —
+	// which reloads committed state from the metadata device — helps.
+	PoolFail
+)
+
+// String implements fmt.Stringer.
+func (m PoolMode) String() string {
+	switch m {
+	case PoolWrite:
+		return "write"
+	case PoolOutOfDataSpace:
+		return "out-of-data-space"
+	case PoolReadOnly:
+		return "read-only"
+	case PoolFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("PoolMode(%d)", int(m))
+	}
+}
+
+// Mode-ladder errors.
+var (
+	// ErrReadOnlyMode reports a mutation on a pool degraded to
+	// PoolReadOnly by a metadata commit failure.
+	ErrReadOnlyMode = errors.New("thinp: pool is read-only")
+	// ErrPoolFail reports any operation on a pool in PoolFail.
+	ErrPoolFail = errors.New("thinp: pool has failed")
+)
+
+// Mode returns the pool's current health mode.
+func (p *Pool) Mode() PoolMode {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.mode
+}
+
+// Status returns the pool's health mode and the reason for the last
+// degradation (empty in PoolWrite).
+func (p *Pool) Status() (PoolMode, string) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.mode, p.modeReason
+}
+
+// setModeLocked moves the ladder. Transitions only escalate — a stale
+// caller cannot un-degrade the pool — except through recoverSpaceLocked,
+// which owns the one legal de-escalation. Caller holds p.mu exclusively.
+func (p *Pool) setModeLocked(m PoolMode, reason string) {
+	if m <= p.mode {
+		return
+	}
+	p.mode = m
+	p.modeReason = reason
+}
+
+// checkMutableLocked gates every metadata-mutating entry point (writes,
+// discards, thin create/delete, commits). Caller holds p.mu (either mode).
+func (p *Pool) checkMutableLocked() error {
+	switch p.mode {
+	case PoolFail:
+		return fmt.Errorf("%w (%s)", ErrPoolFail, p.modeReason)
+	case PoolReadOnly:
+		return fmt.Errorf("%w (%s)", ErrReadOnlyMode, p.modeReason)
+	}
+	return nil
+}
+
+// checkReadableLocked gates reads: only PoolFail stops them — a read-only
+// pool keeps serving data, that is its point. Caller holds p.mu.
+func (p *Pool) checkReadableLocked() error {
+	if p.mode == PoolFail {
+		return fmt.Errorf("%w (%s)", ErrPoolFail, p.modeReason)
+	}
+	return nil
+}
+
+// enterNoSpaceLocked records a provisioning failure for lack of data
+// space. Caller holds p.mu exclusively.
+func (p *Pool) enterNoSpaceLocked() {
+	p.setModeLocked(PoolOutOfDataSpace, "data space exhausted")
+}
+
+// maybeRecoverSpaceLocked returns the pool to Write when it sat in
+// OutOfDataSpace and blocks became allocatable again (a discard within the
+// transaction, or a commit releasing quarantined frees). Caller holds p.mu
+// exclusively.
+func (p *Pool) maybeRecoverSpaceLocked() {
+	if p.mode == PoolOutOfDataSpace && p.allocBM.Free() > 0 {
+		p.mode = PoolWrite
+		p.modeReason = ""
+		p.errorIfNoSpace = false
+		if p.spaceCh != nil {
+			close(p.spaceCh)
+			p.spaceCh = nil
+		}
+	}
+}
+
+// waitForSpace blocks a writer that hit ErrNoSpace until reclaim makes
+// space available or Options.NoSpaceTimeout expires, reporting whether the
+// caller should retry provisioning. With no timeout configured (the
+// default, dm-thin's error_if_no_space), or once a previous waiter already
+// timed out, it fails fast and the ErrNoSpace surfaces unchanged. Called
+// without the pool lock; callers MUST bound their retry rounds — a
+// provisioning failure's own unwind can recover the pool, so an unbounded
+// retry-on-true loop would spin re-consuming its own freed blocks.
+func (p *Pool) waitForSpace() bool {
+	p.mu.Lock()
+	if p.opts.NoSpaceTimeout <= 0 || p.errorIfNoSpace ||
+		p.mode == PoolReadOnly || p.mode == PoolFail {
+		p.mu.Unlock()
+		return false
+	}
+	if p.mode != PoolOutOfDataSpace {
+		// The pool already recovered between the failed provision and now
+		// (a racing reclaim, or this request's own unwind): retry
+		// immediately rather than parking on a channel no reclaim will
+		// close.
+		p.mu.Unlock()
+		return true
+	}
+	if p.spaceCh == nil {
+		p.spaceCh = make(chan struct{})
+	}
+	ch := p.spaceCh
+	p.mu.Unlock()
+
+	t := time.NewTimer(p.opts.NoSpaceTimeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		select {
+		case <-ch:
+			// Reclaim raced the timer; take the win.
+			return true
+		default:
+		}
+		// The timeout converts the pool to fail-fast: queued and future
+		// writers error immediately until reclaim, dm-thin's behaviour
+		// when no_space_timeout expires.
+		if p.mode == PoolOutOfDataSpace {
+			p.errorIfNoSpace = true
+		}
+		return false
+	}
+}

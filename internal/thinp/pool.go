@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"mobiceal/internal/prng"
 	"mobiceal/internal/storage"
@@ -64,6 +65,11 @@ type Options struct {
 	// Meter, when set, charges device-mapper target traversal per thin
 	// I/O request.
 	Meter *vclock.Meter
+	// NoSpaceTimeout bounds how long a write needing provisioning queues
+	// while the pool sits in PoolOutOfDataSpace before failing with
+	// ErrNoSpace — dm-thin's no_space_timeout. Zero (the default) fails
+	// fast, dm-thin's error_if_no_space behaviour.
+	NoSpaceTimeout time.Duration
 }
 
 func (o *Options) fill() {
@@ -234,6 +240,16 @@ type Pool struct {
 	dirtyBM     map[uint64]struct{}
 	structDirty bool
 	recovery    Recovery
+
+	// Health ladder state (mode.go). mode only escalates, except the
+	// documented OutOfDataSpace→Write recovery; modeReason records why the
+	// last degradation happened. errorIfNoSpace latches fail-fast after a
+	// NoSpaceTimeout expiry; spaceCh, when non-nil, is closed to wake
+	// writers queued for reclaim.
+	mode           PoolMode
+	modeReason     string
+	errorIfNoSpace bool
+	spaceCh        chan struct{}
 
 	// DummyBlocksWritten counts noise blocks produced by the dummy-write
 	// mechanism; experiments read it for write-amplification accounting.
@@ -519,6 +535,9 @@ func (p *Pool) PendingAllocations() int {
 func (p *Pool) CreateThin(id int, virtBlocks uint64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.checkMutableLocked(); err != nil {
+		return err
+	}
 	if _, ok := p.thins[id]; ok {
 		return fmt.Errorf("%w: id %d", ErrThinExists, id)
 	}
@@ -533,6 +552,9 @@ func (p *Pool) CreateThin(id int, virtBlocks uint64) error {
 func (p *Pool) DeleteThin(id int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.checkMutableLocked(); err != nil {
+		return err
+	}
 	tm, ok := p.thins[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
@@ -710,6 +732,9 @@ func (p *Pool) releaseLocked(pb uint64) error {
 		if err := p.allocBM.Clear(pb); err != nil {
 			return err
 		}
+		// An allocator-visible block came back: an out-of-data-space pool
+		// recovers to Write and wakes queued writers.
+		p.maybeRecoverSpaceLocked()
 	} else {
 		p.txFree[pb] = struct{}{}
 	}
@@ -722,6 +747,12 @@ func (p *Pool) releaseLocked(pb uint64) error {
 func (p *Pool) provisionLocked(tm *thinMeta, vblock uint64) (uint64, error) {
 	pb, err := p.allocateLocked()
 	if err != nil {
+		if errors.Is(err, ErrNoSpace) {
+			// Real provisioning failed for lack of space: the pool enters
+			// OutOfDataSpace (dummy-write allocation failures stay silent —
+			// they are best-effort and never reach this path).
+			p.enterNoSpaceLocked()
+		}
 		return 0, err
 	}
 	tm.mapSet(vblock, pb)

@@ -86,7 +86,7 @@ func (t *Thin) vecOf(buf []byte) (storage.BlockVec, error) {
 	if len(buf) == 0 {
 		return storage.BlockVec{}, nil
 	}
-	return storage.Vec(t.pool.data.BlockSize(), buf), nil
+	return storage.VecOne(t.pool.data.BlockSize(), buf), nil
 }
 
 // extent is one physically-resolved run of a virtual range: count
@@ -162,6 +162,12 @@ func (t *Thin) checkVecLocked(start uint64, v storage.BlockVec) (*thinMeta, uint
 func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 	var extArr [16]extent
 	t.pool.mu.RLock()
+	// Reads survive every degradation short of PoolFail: a read-only pool
+	// keeps serving data.
+	if err := t.pool.checkReadableLocked(); err != nil {
+		t.pool.mu.RUnlock()
+		return err
+	}
 	tm, n, err := t.checkVecLocked(start, v)
 	if err != nil {
 		t.pool.mu.RUnlock()
@@ -225,9 +231,16 @@ const writeAttempts = 4
 // Extent runs map to sub-vectors of the caller's own segments; the data
 // device sees the caller's buffers directly — the thin layer moves no
 // payload bytes.
+// maxSpaceWaits bounds how many waitForSpace rounds one write request may
+// spend queued for reclaim. The bound matters beyond hygiene: a request
+// needing more blocks than the pool holds recovers the pool with its own
+// unwind every round, so without a cap it would retry forever.
+const maxSpaceWaits = 4
+
 func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 	var extArr [16]extent
 	var fresh []uint64 // vblocks provisioned by this request, data not yet landed
+	spaceWaits := 0
 	for attempt := 0; ; attempt++ {
 		exclusive := attempt >= writeAttempts
 		lock, unlock := t.pool.mu.RLock, t.pool.mu.RUnlock
@@ -239,6 +252,11 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 			t.pool.stageNoise()
 		}
 		lock()
+		if err := t.pool.checkMutableLocked(); err != nil {
+			unlock()
+			t.unwindFresh(fresh, start) // nothing landed
+			return err
+		}
 		tm, n, err := t.checkVecLocked(start, v)
 		if err != nil {
 			unlock()
@@ -260,6 +278,14 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 				// under the same exclusive acquisition.
 				if err := t.provisionHolesLocked(tm, start, n, &fresh); err != nil {
 					unlock()
+					if errors.Is(err, ErrNoSpace) && spaceWaits < maxSpaceWaits &&
+						t.pool.waitForSpace() {
+						// provisionHolesLocked discarded every fresh
+						// provision before failing; reclaim arrived, retry.
+						spaceWaits++
+						fresh = fresh[:0]
+						continue
+					}
 					return err
 				}
 				exts = exts[:0]
@@ -269,6 +295,12 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 			} else {
 				unlock()
 				if err := t.provisionHoles(start, n, &fresh); err != nil {
+					if errors.Is(err, ErrNoSpace) && spaceWaits < maxSpaceWaits &&
+						t.pool.waitForSpace() {
+						spaceWaits++
+						fresh = fresh[:0]
+						continue
+					}
 					return err
 				}
 				continue
@@ -389,6 +421,9 @@ func (t *Thin) Discard(idx uint64) error {
 func (t *Thin) DiscardRange(start, count uint64) error {
 	t.pool.mu.Lock()
 	defer t.pool.mu.Unlock()
+	if err := t.pool.checkMutableLocked(); err != nil {
+		return err
+	}
 	tm, ok := t.pool.thins[t.id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)

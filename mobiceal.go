@@ -34,6 +34,7 @@ import (
 	"mobiceal/internal/ioq"
 	"mobiceal/internal/minifs"
 	"mobiceal/internal/storage"
+	"mobiceal/internal/thinp"
 	"mobiceal/internal/vclock"
 )
 
@@ -71,7 +72,34 @@ type (
 	// before it is durable; concurrent flushes across volumes fold into
 	// shared group commits.
 	Future = ioq.Future
+	// Health is System.Health()'s snapshot of the degradation state: the
+	// pool's health-ladder mode plus the I/O scheduler's fault counters.
+	Health = core.Health
+	// PoolMode is the pool health ladder: Write → OutOfDataSpace →
+	// ReadOnly → Fail, one-way except the documented space recovery.
+	PoolMode = thinp.PoolMode
+	// RetryPolicy tunes Config.Retry, the scheduler's transient-fault
+	// retry/backoff behaviour.
+	RetryPolicy = ioq.RetryPolicy
+	// FlakyDevice injects deterministic transient/medium faults and
+	// latency spikes into a wrapped device, for resilience testing.
+	FlakyDevice = storage.FlakyDevice
+	// FlakyOptions seeds and rates a FlakyDevice.
+	FlakyOptions = storage.FlakyOptions
 )
+
+// Pool health modes (see System.Health).
+const (
+	PoolWrite          = thinp.PoolWrite
+	PoolOutOfDataSpace = thinp.PoolOutOfDataSpace
+	PoolReadOnly       = thinp.PoolReadOnly
+	PoolFail           = thinp.PoolFail
+)
+
+// NewFlakyDevice wraps dev with deterministic fault injection.
+func NewFlakyDevice(dev Device, opts FlakyOptions) *FlakyDevice {
+	return storage.NewFlakyDevice(dev, opts)
+}
 
 // WaitAll waits a set of request futures and returns the first error.
 func WaitAll(futures ...*Future) error { return ioq.WaitAll(futures...) }
