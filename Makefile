@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 fault-soak
+.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 bench-pr7 fault-soak
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -33,6 +33,12 @@ bench-pr5:
 # Fig. 4 serial-path guard (see BENCH_PR6.json).
 bench-pr6:
 	./cmd/experiments/bench_pr6.sh
+
+# Telemetry benchmark set: obs primitive floors, StatsDevice wrap cost,
+# thin-write drift with full instrumentation, snapshot price, and the
+# Fig. 4 serial-path guard (see BENCH_PR7.json).
+bench-pr7:
+	./cmd/experiments/bench_pr7.sh
 
 # Short-budget robustness soak: every fault-injection, health-ladder,
 # retry and sweep suite under the race detector, twice. Mirrors the CI

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_pr7.sh — run the telemetry benchmark set and emit the results as
+# JSON on stdout (the format committed in BENCH_PR7.json).
+#
+#   ./cmd/experiments/bench_pr7.sh > /tmp/bench.json
+#   BENCHTIME=2000x ./cmd/experiments/bench_pr7.sh    # quicker smoke run
+#
+# The set prices what the PR 7 observability subsystem costs. The obs
+# primitives are the per-event floor (one atomic add for a counter, a
+# bits.Len bucket index plus three atomics for a histogram observe, one
+# atomic load for a disabled tracer). BenchmarkDeviceWriteOverhead prices
+# the StatsDevice wrap against a raw RAM-speed device — the worst case,
+# since nothing amortizes the two clock reads. BenchmarkTelemetrySnapshot
+# is the scraper's cost per full Telemetry() snapshot.
+# BenchmarkThinWriteRandomAlloc and BenchmarkFig4 are the end-to-end drift
+# guards: instrumented vs pre-PR within run noise, and the Fig. 4 *_virt
+# reproduction metrics bit-identical.
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-20000x}"
+
+{
+	go test -run XXX -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkTracerDisabled' -benchtime "$BENCHTIME" ./internal/obs/
+	go test -run XXX -bench 'BenchmarkDeviceWriteOverhead' -benchtime "$BENCHTIME" ./internal/storage/
+	go test -run XXX -bench 'BenchmarkThinWriteRandomAlloc' -benchtime "$BENCHTIME" ./internal/thinp/
+	go test -run XXX -bench 'BenchmarkTelemetrySnapshot' -benchtime "$BENCHTIME" .
+	go test -run XXX -bench 'BenchmarkFig4' -benchtime 1000x .
+} | go run ./cmd/experiments/benchjson

@@ -12,11 +12,18 @@
 //	mobiceal gc    -image disk.img -hidden PW1,PW2
 //	mobiceal snap  -image disk.img -to snap-1.img
 //	mobiceal check -image disk.img [-pass PW]
+//	mobiceal status -image disk.img [-json] [-events]
 //
 // put/get/ls/rm try the password as the decoy first, then as a hidden
 // password, so one command surface serves both modes — just like the boot
 // flow. `gc` needs every hidden password so hidden volumes are protected
 // (the paper requires GC to run from hidden mode).
+//
+// The global -debug-addr flag (before the subcommand) serves expvar and
+// pprof endpoints for the life of the process:
+//
+//	mobiceal -debug-addr localhost:6060 status -image disk.img
+//	curl http://localhost:6060/debug/vars   # includes the telemetry snapshot
 package main
 
 import (
@@ -40,8 +47,22 @@ func main() {
 }
 
 func run(args []string) error {
+	// Global flags precede the subcommand: parsing stops at the first
+	// non-flag argument.
+	globals := flag.NewFlagSet("mobiceal", flag.ContinueOnError)
+	debugAddr := globals.String("debug-addr", "",
+		"serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
+	if err := globals.Parse(args); err != nil {
+		return err
+	}
+	args = globals.Args()
 	if len(args) < 1 {
-		return errors.New("usage: mobiceal <init|put|get|ls|rm|gc|snap> [flags]")
+		return errors.New("usage: mobiceal [-debug-addr ADDR] <init|put|get|ls|rm|gc|snap|check|status> [flags]")
+	}
+	if *debugAddr != "" {
+		if err := startDebugServer(*debugAddr); err != nil {
+			return err
+		}
 	}
 	switch args[0] {
 	case "init":
@@ -60,6 +81,8 @@ func run(args []string) error {
 		return cmdSnap(args[1:])
 	case "check":
 		return cmdCheck(args[1:])
+	case "status":
+		return cmdStatus(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -166,6 +189,7 @@ func openVolume(image, password string) (*mobiceal.System, *mobiceal.Volume, *mo
 		closeQuiet(dev)
 		return nil, nil, nil, err
 	}
+	registerDebugSystem(sys)
 	if vol, err := sys.OpenPublic(password); err == nil {
 		if fsys, err := vol.Mount(); err == nil {
 			return sys, vol, fsys, nil

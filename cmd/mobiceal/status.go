@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"mobiceal"
+)
+
+// debugSys holds the most recently opened system so the expvar endpoint
+// can snapshot it while a subcommand runs.
+var debugSys atomic.Pointer[mobiceal.System]
+
+// registerDebugSystem points the debug endpoints at sys.
+func registerDebugSystem(sys *mobiceal.System) { debugSys.Store(sys) }
+
+var publishOnce sync.Once
+
+// debugListenAddr records the resolved listen address (tests bind port 0
+// and need to find the server).
+var debugListenAddr atomic.Value // string
+
+func debugAddrForTest() string {
+	if v := debugListenAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/)
+// on addr for the lifetime of the process. The telemetry variable renders
+// the current system's snapshot on every scrape — memory-only, like the
+// telemetry itself; nothing the server shows survives the process.
+func startDebugServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug-addr: %w", err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("mobiceal", expvar.Func(func() any {
+			sys := debugSys.Load()
+			if sys == nil {
+				return nil
+			}
+			return sys.Telemetry()
+		}))
+	})
+	debugListenAddr.Store(ln.Addr().String())
+	fmt.Fprintf(os.Stderr, "debug: expvar and pprof on http://%s/debug/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, nil) }()
+	return nil
+}
+
+// cmdStatus prints the system's health and telemetry snapshot: the dm-thin
+// style one-liner by default, the full snapshot with -json.
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	image := fs.String("image", "", "device image path")
+	jsonOut := fs.Bool("json", false, "print the full snapshot as JSON")
+	events := fs.Bool("events", false, "also print the pool event log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *image == "" {
+		return errors.New("status: -image is required")
+	}
+	dev, err := mobiceal.OpenImage(*image, blockSize)
+	if err != nil {
+		return err
+	}
+	defer closeQuiet(dev)
+	sys, err := mobiceal.Open(dev, mobiceal.Config{})
+	if err != nil {
+		return err
+	}
+	registerDebugSystem(sys)
+	health := sys.Health()
+	tel := sys.Telemetry()
+
+	if *jsonOut {
+		out := struct {
+			Healthy   bool               `json:"healthy"`
+			Telemetry mobiceal.Telemetry `json:"telemetry"`
+		}{health.Healthy(), tel}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	state := "ok"
+	if !health.Healthy() {
+		state = "degraded"
+	}
+	fmt.Printf("health: %s\n", state)
+	fmt.Println(tel.String())
+	if *events {
+		for _, e := range tel.Pool.Events {
+			fmt.Printf("  event %d +%v [%s] %s\n", e.Seq, e.At, e.Kind, e.Detail)
+		}
+	}
+	return nil
+}

@@ -135,6 +135,13 @@ type System struct {
 	queueMu   sync.Mutex
 	queues    map[int]*ioq.VolumeQueue
 
+	// dataStats and metaStats are the accounting wraps buildPool installs
+	// around the pool's region devices; Telemetry snapshots them. They sit
+	// below every volume, so their numbers aggregate all traffic without
+	// attributing it (telemetry.go).
+	dataStats *storage.StatsDevice
+	metaStats *storage.StatsDevice
+
 	metaBlocks uint64
 	dataBlocks uint64
 }
@@ -325,9 +332,16 @@ func (s *System) buildPool(create bool) error {
 	if err != nil {
 		return fmt.Errorf("core: data region: %w", err)
 	}
-	var data storage.Device = dataDev
+	// Both regions get an accounting wrap for the telemetry surface. The
+	// cost device (virtual-testbed timing) stays outermost, seeing exactly
+	// the operations it saw before the stats wrap existed, so `*_virt`
+	// metrics are untouched by instrumentation.
+	s.metaStats = storage.NewStatsDevice(metaDev)
+	s.dataStats = storage.NewStatsDevice(dataDev)
+	var meta storage.Device = s.metaStats
+	var data storage.Device = s.dataStats
 	if s.cfg.Meter != nil {
-		data = vclock.NewCostDevice(dataDev, s.cfg.Meter)
+		data = vclock.NewCostDevice(data, s.cfg.Meter)
 	}
 	src := prng.NewSource(s.cfg.Seed)
 	refreshEvery := s.cfg.PolicyRefreshEvery
@@ -355,9 +369,9 @@ func (s *System) buildPool(create bool) error {
 		NoSpaceTimeout: s.cfg.NoSpaceTimeout,
 	}
 	if create {
-		s.pool, err = thinp.CreatePool(data, metaDev, opts)
+		s.pool, err = thinp.CreatePool(data, meta, opts)
 	} else {
-		s.pool, err = thinp.OpenPool(data, metaDev, opts)
+		s.pool, err = thinp.OpenPool(data, meta, opts)
 	}
 	if err != nil {
 		return fmt.Errorf("core: thin pool: %w", err)

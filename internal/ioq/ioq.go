@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobiceal/internal/obs"
 	"mobiceal/internal/storage"
 )
 
@@ -125,7 +126,10 @@ func (o *Options) fill() {
 }
 
 // Stats is a snapshot of the scheduler's failure accounting. All counters
-// are cumulative since the scheduler started.
+// are cumulative since the scheduler started. It is a compatibility view
+// over Metrics — the obs counters are the single source of truth;
+// MetricsSnapshot carries the full surface (gauges, latencies, merge
+// accounting).
 type Stats struct {
 	// Retries counts re-executions after transient faults.
 	Retries uint64
@@ -139,15 +143,6 @@ type Stats struct {
 	// BarrierFailures counts Flush barriers whose device Sync failed
 	// (after retries), poisoning the requests parked behind them.
 	BarrierFailures uint64
-}
-
-// schedStats holds the live atomic counters behind Stats.
-type schedStats struct {
-	retries      atomic.Uint64
-	recovered    atomic.Uint64
-	timeouts     atomic.Uint64
-	failures     atomic.Uint64
-	barrierFails atomic.Uint64
 }
 
 // Scheduler owns the worker pool and the ready list of volume queues with
@@ -170,24 +165,26 @@ type Scheduler struct {
 	// submit must not take the scheduler-global mutex per request.
 	closedFlag atomic.Bool
 
-	stats schedStats
+	m      Metrics
+	tracer *obs.Tracer
 }
 
-// Stats snapshots the scheduler's cumulative failure accounting.
+// Stats snapshots the scheduler's cumulative failure accounting (a thin
+// view over Metrics).
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Retries:         s.stats.retries.Load(),
-		Recovered:       s.stats.recovered.Load(),
-		Timeouts:        s.stats.timeouts.Load(),
-		Failures:        s.stats.failures.Load(),
-		BarrierFailures: s.stats.barrierFails.Load(),
+		Retries:         s.m.Retries.Load(),
+		Recovered:       s.m.Recovered.Load(),
+		Timeouts:        s.m.Timeouts.Load(),
+		Failures:        s.m.Failures.Load(),
+		BarrierFailures: s.m.BarrierFails.Load(),
 	}
 }
 
 // NewScheduler starts a scheduler with opts (zero value: defaults).
 func NewScheduler(opts Options) *Scheduler {
 	opts.fill()
-	s := &Scheduler{opts: opts, live: opts.Workers}
+	s := &Scheduler{opts: opts, live: opts.Workers, tracer: obs.NewTracer(0)}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {

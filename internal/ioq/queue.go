@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mobiceal/internal/obs"
 	"mobiceal/internal/storage"
 )
 
@@ -43,6 +44,15 @@ type request struct {
 	// scheduler: a request still undispatched (or mid-retry) past its
 	// deadline completes with ErrDeadline instead of executing.
 	deadline time.Time
+	// submitNS and dispatchNS are obs.NowNS stamps of the request's
+	// life-cycle edges. submitNS is 0 for requests rejected before
+	// entering a queue; dispatchNS is 0 for requests that never left
+	// pending (purged on close or behind a failed barrier). Only the
+	// goroutine currently owning the request touches them: submit writes
+	// submitNS before publishing, the dispatching worker writes
+	// dispatchNS after draining.
+	submitNS   int64
+	dispatchNS int64
 }
 
 // blocks returns the request's length in device blocks.
@@ -171,9 +181,17 @@ func (q *VolumeQueue) Device() storage.Device { return q.dev }
 
 func (q *VolumeQueue) submit(r *request) *Future {
 	if q.s.isClosed() {
-		r.f.complete(ErrClosed)
+		// Counted as a submission so the closed-scheduler rejection shows
+		// up in Submitted/Completed/Failures like any other outcome; the
+		// request never entered a queue (submitNS stays 0), so no gauge or
+		// histogram moves.
+		q.s.m.Submitted.Inc()
+		q.finish(r, ErrClosed)
 		return r.f
 	}
+	r.submitNS = obs.NowNS()
+	q.s.m.Submitted.Inc()
+	q.s.m.QueueDepth.Inc()
 	q.mu.Lock()
 	q.pending = append(q.pending, r)
 	wake := !q.queued && q.dispatchableLocked()
@@ -191,7 +209,7 @@ func (q *VolumeQueue) submit(r *request) *Future {
 		q.pending = nil
 		q.mu.Unlock()
 		for _, p := range rest {
-			p.f.complete(ErrClosed)
+			q.finish(p, ErrClosed)
 		}
 	}
 	return r.f
@@ -243,6 +261,18 @@ func (q *VolumeQueue) dispatch() {
 	q.queued = q.dispatchableLocked()
 	requeue := q.queued
 	q.mu.Unlock()
+	if n := len(batch); n > 0 {
+		// Mark the submit→dispatch edge. This worker owns the batch now,
+		// so the stamps race with nothing.
+		now := obs.NowNS()
+		q.s.m.Batches.Inc()
+		for _, r := range batch {
+			r.dispatchNS = now
+			q.s.m.QueueLat.ObserveNS(now - r.submitNS)
+		}
+		q.s.m.QueueDepth.Add(-int64(n))
+		q.s.m.InFlight.Add(int64(n))
+	}
 	if requeue {
 		// More work is immediately dispatchable: hand the queue back so
 		// another worker can run the next batch in parallel with this one.
@@ -284,7 +314,7 @@ func (q *VolumeQueue) dispatch() {
 func (q *VolumeQueue) runBarrier(r *request) {
 	err := q.execOne(r)
 	if err != nil && r.op == OpSync {
-		q.s.stats.barrierFails.Add(1)
+		q.s.m.BarrierFails.Inc()
 		barrierErr := fmt.Errorf("%w: %w", ErrBarrier, err)
 		q.mu.Lock()
 		parked := q.pending
@@ -318,13 +348,40 @@ func (q *VolumeQueue) expire(batch []*request) []*request {
 }
 
 // finish completes a request's future and folds the outcome into the
-// scheduler's failure accounting.
+// scheduler's accounting: every completion path — executed, expired,
+// purged on close, poisoned behind a failed barrier — funnels through
+// here, so the counters, gauges, latency histograms, and tracer have one
+// source of truth.
 func (q *VolumeQueue) finish(r *request, err error) {
+	m := &q.s.m
+	now := obs.NowNS()
 	if err != nil {
-		q.s.stats.failures.Add(1)
+		m.Failures.Inc()
 		if errors.Is(err, ErrDeadline) {
-			q.s.stats.timeouts.Add(1)
+			m.Timeouts.Inc()
 		}
+	}
+	switch {
+	case r.dispatchNS != 0:
+		m.InFlight.Dec()
+		m.ServiceLat.ObserveNS(now - r.dispatchNS)
+		m.TotalLat.ObserveNS(now - r.submitNS)
+	case r.submitNS != 0:
+		// Never dispatched: it leaves the queue without touching a device,
+		// so only the depth gauge unwinds — no latency is recorded for
+		// work that never ran.
+		m.QueueDepth.Dec()
+	}
+	m.Completed.Inc()
+	if q.s.tracer.Enabled() {
+		q.s.tracer.Record(obs.Span{
+			Op:         opName(r.op),
+			Blocks:     r.blocks(q.dev.BlockSize()),
+			SubmitNS:   r.submitNS,
+			DispatchNS: r.dispatchNS,
+			DoneNS:     now,
+			OK:         err == nil,
+		})
 	}
 	r.f.complete(err)
 }
@@ -388,6 +445,8 @@ func (q *VolumeQueue) exec(run []*request) {
 		err = storage.Discard(q.dev, start, count)
 	}
 	if err == nil {
+		q.s.m.CoalescedOps.Inc()
+		q.s.m.CoalescedReqs.Add(uint64(len(run)))
 		for _, r := range run {
 			q.finish(r, nil)
 		}
@@ -454,9 +513,9 @@ func (q *VolumeQueue) execOne(r *request) error {
 			delay = pol.MaxDelay
 		}
 		stall++
-		q.s.stats.retries.Add(1)
+		q.s.m.Retries.Inc()
 		if err = q.execDirect(r); err == nil {
-			q.s.stats.recovered.Add(1)
+			q.s.m.Recovered.Inc()
 			return nil
 		}
 		if !storage.IsTransient(err) {

@@ -1,0 +1,45 @@
+package minifs
+
+import "mobiceal/internal/obs"
+
+// FSMetrics is the file system's obs-backed accounting: journal commit
+// counters and Sync latency. A minifs instance is per volume, so these
+// numbers never enter the system's public telemetry surface — the core
+// layer only exposes pool- and scheduler-level metrics, which account
+// every volume identically (see DESIGN.md "Observability"). FSMetrics
+// exists for single-volume debugging and the experiment harness.
+type FSMetrics struct {
+	// Syncs counts Sync calls; DataOnlySyncs the subset that found no
+	// metadata dirty and took the cheap data-flush path.
+	Syncs         obs.Counter
+	DataOnlySyncs obs.Counter
+	// JournalCommits counts journal transactions sealed and applied;
+	// JournalBlocks the metadata blocks they carried.
+	JournalCommits obs.Counter
+	JournalBlocks  obs.Counter
+	// SyncLat is the latency of one Sync call, whichever path it took.
+	SyncLat obs.Histogram
+}
+
+// FSSnapshot is a point-in-time copy of FSMetrics.
+type FSSnapshot struct {
+	Syncs          uint64           `json:"syncs"`
+	DataOnlySyncs  uint64           `json:"data_only_syncs"`
+	JournalCommits uint64           `json:"journal_commits"`
+	JournalBlocks  uint64           `json:"journal_blocks"`
+	SyncLat        obs.HistSnapshot `json:"sync_lat"`
+}
+
+// Metrics exposes the file system's live counters.
+func (fs *FS) Metrics() *FSMetrics { return &fs.m }
+
+// MetricsSnapshot captures the file system's current metric values.
+func (fs *FS) MetricsSnapshot() FSSnapshot {
+	return FSSnapshot{
+		Syncs:          fs.m.Syncs.Load(),
+		DataOnlySyncs:  fs.m.DataOnlySyncs.Load(),
+		JournalCommits: fs.m.JournalCommits.Load(),
+		JournalBlocks:  fs.m.JournalBlocks.Load(),
+		SyncLat:        fs.m.SyncLat.Snapshot(),
+	}
+}

@@ -127,6 +127,10 @@ type FS struct {
 	// strand the half-applied state with no valid journal to repair it.
 	dirDirty      bool
 	replayPending bool
+
+	// m is the file system's obs-backed telemetry (metrics.go);
+	// memory-only, zero value ready.
+	m FSMetrics
 }
 
 // layoutFor computes the region split for inodeCount inodes on a device of

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc64"
 	"sort"
+	"time"
 
 	"mobiceal/internal/storage"
 )
@@ -153,6 +154,8 @@ func (fs *FS) relocateDirtyPtrs() error {
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.m.Syncs.Inc()
+	defer fs.m.SyncLat.Since(time.Now())
 
 	// 0. A sealed transaction whose in-place application failed must be
 	//    re-applied before the journal region is reused: overwriting its
@@ -196,6 +199,7 @@ func (fs *FS) Sync() error {
 
 	if len(txn) == 0 {
 		// No metadata changed; just give pending file data durability.
+		fs.m.DataOnlySyncs.Inc()
 		return fs.dev.Sync()
 	}
 	if uint64(len(txn)) > fs.sb.jdataBlocks {
@@ -214,6 +218,8 @@ func (fs *FS) Sync() error {
 	if err := fs.commitTxn(addrs, txn); err != nil {
 		return err
 	}
+	fs.m.JournalCommits.Inc()
+	fs.m.JournalBlocks.Add(uint64(len(txn)))
 
 	fs.lastBitmap = bitmapBytes
 	fs.lastInodes = inodeBytes

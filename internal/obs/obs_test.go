@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("counter after reset = %d, want 0", got)
+	}
+
+	var g Gauge
+	g.Inc()
+	g.Add(5)
+	g.Dec()
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.Set(-3)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge after set = %d, want -3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1 << 37, HistBuckets - 1},
+		{1 << 40, HistBuckets - 1}, {1<<62 + 7, HistBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.ns); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations at 1µs, 10 slow at 1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	wantSum := int64(90)*int64(time.Microsecond) + int64(10)*int64(time.Millisecond)
+	if s.SumNS != wantSum {
+		t.Fatalf("sum = %d, want %d", s.SumNS, wantSum)
+	}
+	// p50 must land in the fast bucket, p99 in the slow bucket. The
+	// estimate is the bucket's upper edge, so fast ≤ 2µs-ish, slow ≥ 1ms.
+	if p50 := s.Quantile(0.50); p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want within fast bucket", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < time.Millisecond {
+		t.Fatalf("p99 = %v, want within slow bucket", p99)
+	}
+	// Quantile upper bound property: at least quantile-fraction of
+	// observations are <= the returned edge.
+	if q1 := s.Quantile(1); q1 < time.Millisecond {
+		t.Fatalf("p100 = %v, want >= 1ms", q1)
+	}
+	if got := s.Mean(); got != time.Duration(wantSum/100) {
+		t.Fatalf("mean = %v, want %v", got, time.Duration(wantSum/100))
+	}
+
+	h.Reset()
+	s = h.Snapshot()
+	if s.Count != 0 || s.SumNS != 0 {
+		t.Fatalf("after reset: count=%d sum=%d, want zeros", s.Count, s.SumNS)
+	}
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.String() != "n=0" {
+		t.Fatalf("empty snapshot rendering wrong: %q", s.String())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)
+	got := h.Snapshot().String()
+	if got == "" || got == "n=0" {
+		t.Fatalf("String() = %q, want populated summary", got)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	if got := l.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty log snapshot len = %d", len(got))
+	}
+	for i := 1; i <= 6; i++ {
+		l.Append("k", fmt.Sprintf("e%d", i))
+	}
+	if l.Seq() != 6 {
+		t.Fatalf("seq = %d, want 6", l.Seq())
+	}
+	got := l.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	// Oldest-first: e3..e6 with sequence numbers 3..6.
+	for i, e := range got {
+		wantSeq := uint64(i + 3)
+		wantDetail := fmt.Sprintf("e%d", i+3)
+		if e.Seq != wantSeq || e.Detail != wantDetail || e.Kind != "k" {
+			t.Fatalf("snapshot[%d] = %+v, want seq=%d detail=%q", i, e, wantSeq, wantDetail)
+		}
+	}
+}
+
+func TestEventLogDefaultCapacity(t *testing.T) {
+	l := NewEventLog(0)
+	for i := 0; i < DefaultEventLogSize+10; i++ {
+		l.Append("k", "d")
+	}
+	if got := len(l.Snapshot()); got != DefaultEventLogSize {
+		t.Fatalf("retained = %d, want %d", got, DefaultEventLogSize)
+	}
+}
+
+func TestTracerDisabledAndNil(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	nilT.SetEnabled(true) // must not panic
+	nilT.Record(Span{Op: "write"})
+	if got := nilT.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v, want nil", got)
+	}
+
+	tr := NewTracer(8)
+	tr.Record(Span{Op: "write"}) // disabled: dropped
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", got)
+	}
+	tr.SetEnabled(true)
+	tr.Record(Span{Op: "write", Blocks: 8, OK: true})
+	tr.Record(Span{Op: "sync"})
+	spans := tr.Snapshot()
+	if len(spans) != 2 || spans[0].Seq != 1 || spans[1].Seq != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Op != "write" || spans[0].Blocks != 8 || !spans[0].OK {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Op: "write", Blocks: uint64(i)})
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained = %d, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(i + 7); s.Seq != want {
+			t.Fatalf("spans[%d].Seq = %d, want %d", i, s.Seq, want)
+		}
+	}
+}
+
+// TestConcurrentPrimitives hammers every primitive from multiple
+// goroutines; correctness of the totals plus a clean -race run is the
+// point (the race matrix runs this at GOMAXPROCS 1 and 4).
+func TestConcurrentPrimitives(t *testing.T) {
+	const workers = 8
+	const perWorker = 2000
+
+	var c Counter
+	var g Gauge
+	var h Histogram
+	l := NewEventLog(32)
+	tr := NewTracer(32)
+	tr.SetEnabled(true)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.ObserveNS(int64(i%4096 + 1))
+				if i%100 == 0 {
+					l.Append("k", "d")
+					tr.Record(Span{Op: "write", Blocks: 1})
+				}
+				if i%500 == 0 {
+					_ = h.Snapshot()
+					_ = l.Snapshot()
+					_ = tr.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketSum uint64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if got := l.Seq(); got != workers*(perWorker/100) {
+		t.Fatalf("event seq = %d, want %d", got, workers*(perWorker/100))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i&0xffff) + 1)
+	}
+}
+
+func BenchmarkTracerDisabled(b *testing.B) {
+	tr := NewTracer(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Record(Span{Op: "write"})
+		}
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(time.Microsecond)
+		}
+	})
+}

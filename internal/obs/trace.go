@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one recorded request: the submit→dispatch→complete timeline of
+// an I/O through the scheduler, timestamped with NowNS. Spans carry the
+// operation kind and size but deliberately no volume identity and no block
+// addresses — a trace dump is as volume-blind as the counters.
+type Span struct {
+	// Seq is the span's 1-based sequence number since the tracer started.
+	Seq uint64 `json:"seq"`
+	// Op names the request kind ("read", "write", "sync", ...).
+	Op string `json:"op"`
+	// Blocks is the request size in blocks (0 for barriers).
+	Blocks uint64 `json:"blocks"`
+	// SubmitNS/DispatchNS/DoneNS are NowNS timestamps of the request's
+	// life-cycle edges. DispatchNS is 0 for requests that never reached a
+	// worker (purged while parked).
+	SubmitNS   int64 `json:"submit_ns"`
+	DispatchNS int64 `json:"dispatch_ns"`
+	DoneNS     int64 `json:"done_ns"`
+	// OK reports whether the request completed without error.
+	OK bool `json:"ok"`
+}
+
+// Tracer is an opt-in bounded recorder of request Spans. It is disabled by
+// default: the hot-path cost of a disabled tracer is a single atomic load
+// (Enabled), and a nil *Tracer is a valid always-disabled tracer so call
+// sites need no nil checks. When enabled it keeps the newest spans in a
+// fixed ring, mirroring EventLog's bounded-footprint contract.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	ring    []Span
+	seq     uint64
+}
+
+// DefaultTraceSize is the span ring capacity unless overridden.
+const DefaultTraceSize = 256
+
+// NewTracer returns a disabled tracer with the given ring capacity (<=0
+// selects DefaultTraceSize).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceSize
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// Enabled reports whether spans are being recorded. Nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled turns recording on or off. Nil-safe no-op when t is nil.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Record stores a span if the tracer is enabled. The span's Seq field is
+// assigned by the tracer. Nil-safe.
+func (t *Tracer) Record(s Span) {
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	s.Seq = t.seq
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[int((t.seq-1)%uint64(cap(t.ring)))] = s
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first. Nil-safe (returns nil).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	out := make([]Span, 0, n)
+	if n == 0 {
+		return out
+	}
+	start := 0
+	if t.seq > uint64(cap(t.ring)) {
+		start = int(t.seq % uint64(cap(t.ring)))
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%n])
+	}
+	return out
+}

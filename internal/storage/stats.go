@@ -1,8 +1,16 @@
 package storage
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
 
-// IOStats aggregates traffic observed by a StatsDevice.
+	"mobiceal/internal/obs"
+)
+
+// IOStats aggregates traffic observed by a StatsDevice. It is a
+// compatibility view over DeviceMetrics — the obs counters are the single
+// source of truth.
 type IOStats struct {
 	Reads      uint64 // blocks read
 	Writes     uint64 // blocks written
@@ -11,17 +19,80 @@ type IOStats struct {
 	Syncs      uint64
 }
 
+// DeviceMetrics is the obs-backed accounting a StatsDevice maintains:
+// per-op block/byte counters plus latency histograms. Counters cover
+// successful operations only (a failed I/O moved no data), matching the
+// historical IOStats contract the write-amplification experiments depend
+// on. All fields are independently atomic; a snapshot racing live traffic
+// may be off by the in-flight ops.
+type DeviceMetrics struct {
+	ReadBlocks  obs.Counter
+	WriteBlocks obs.Counter
+	BytesRead   obs.Counter
+	BytesWrite  obs.Counter
+	Syncs       obs.Counter
+
+	ReadLat  obs.Histogram
+	WriteLat obs.Histogram
+	SyncLat  obs.Histogram
+}
+
+// DeviceSnapshot is a point-in-time copy of DeviceMetrics, the form that
+// travels in telemetry snapshots.
+type DeviceSnapshot struct {
+	ReadBlocks  uint64 `json:"read_blocks"`
+	WriteBlocks uint64 `json:"write_blocks"`
+	BytesRead   uint64 `json:"bytes_read"`
+	BytesWrite  uint64 `json:"bytes_write"`
+	Syncs       uint64 `json:"syncs"`
+
+	ReadLat  obs.HistSnapshot `json:"read_lat"`
+	WriteLat obs.HistSnapshot `json:"write_lat"`
+	SyncLat  obs.HistSnapshot `json:"sync_lat"`
+}
+
+// Snapshot captures the metrics' current values.
+func (m *DeviceMetrics) Snapshot() DeviceSnapshot {
+	return DeviceSnapshot{
+		ReadBlocks:  m.ReadBlocks.Load(),
+		WriteBlocks: m.WriteBlocks.Load(),
+		BytesRead:   m.BytesRead.Load(),
+		BytesWrite:  m.BytesWrite.Load(),
+		Syncs:       m.Syncs.Load(),
+		ReadLat:     m.ReadLat.Snapshot(),
+		WriteLat:    m.WriteLat.Snapshot(),
+		SyncLat:     m.SyncLat.Snapshot(),
+	}
+}
+
+// reset zeroes every counter and histogram.
+func (m *DeviceMetrics) reset() {
+	m.ReadBlocks.Reset()
+	m.WriteBlocks.Reset()
+	m.BytesRead.Reset()
+	m.BytesWrite.Reset()
+	m.Syncs.Reset()
+	m.ReadLat.Reset()
+	m.WriteLat.Reset()
+	m.SyncLat.Reset()
+}
+
 // StatsDevice wraps a Device and counts traffic through it. The experiment
 // harness uses the counts to compute write amplification (physical writes
 // per logical write) for each PDE scheme, which is what separates MobiCeal's
-// ~20% overhead from HIVE's ~99% in Table I.
+// ~20% overhead from HIVE's ~99% in Table I; the telemetry surface reads the
+// same counters through Metrics(), so each number has one source of truth.
 type StatsDevice struct {
 	inner Device
 
+	m DeviceMetrics
+
+	// The write trace is the one remaining mutex-guarded piece: it is an
+	// opt-in, unbounded recording the adversary's layout detector consumes
+	// in ablation experiments, never part of live telemetry.
+	traceOn    atomic.Bool
 	mu         sync.Mutex
-	stats      IOStats
 	writeTrace []uint64
-	traceOn    bool
 }
 
 var (
@@ -34,14 +105,13 @@ func NewStatsDevice(inner Device) *StatsDevice {
 	return &StatsDevice{inner: inner}
 }
 
+// Metrics exposes the device's obs-backed counters and histograms.
+func (d *StatsDevice) Metrics() *DeviceMetrics { return &d.m }
+
 // EnableWriteTrace starts recording the index of every written block in
 // order. The adversary's layout detector consumes this trace in ablation
 // experiments; it is off by default because traces grow with traffic.
-func (d *StatsDevice) EnableWriteTrace() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.traceOn = true
-}
+func (d *StatsDevice) EnableWriteTrace() { d.traceOn.Store(true) }
 
 // WriteTrace returns a copy of the recorded write ordering.
 func (d *StatsDevice) WriteTrace() []uint64 {
@@ -52,19 +122,34 @@ func (d *StatsDevice) WriteTrace() []uint64 {
 	return out
 }
 
-// Stats returns a copy of the current counters.
+// Stats returns a copy of the current counters as the historical IOStats
+// view.
 func (d *StatsDevice) Stats() IOStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return IOStats{
+		Reads:      d.m.ReadBlocks.Load(),
+		Writes:     d.m.WriteBlocks.Load(),
+		BytesRead:  d.m.BytesRead.Load(),
+		BytesWrite: d.m.BytesWrite.Load(),
+		Syncs:      d.m.Syncs.Load(),
+	}
 }
 
-// ResetStats zeroes the counters and the write trace.
+// ResetStats zeroes the counters, histograms, and the write trace.
 func (d *StatsDevice) ResetStats() {
+	d.m.reset()
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = IOStats{}
 	d.writeTrace = nil
+	d.mu.Unlock()
+}
+
+// traceWrite appends n ascending block indexes starting at start to the
+// write trace, as the per-block path would record them.
+func (d *StatsDevice) traceWrite(start, n uint64) {
+	d.mu.Lock()
+	for i := uint64(0); i < n; i++ {
+		d.writeTrace = append(d.writeTrace, start+i)
+	}
+	d.mu.Unlock()
 }
 
 // BlockSize implements Device.
@@ -75,62 +160,59 @@ func (d *StatsDevice) NumBlocks() uint64 { return d.inner.NumBlocks() }
 
 // ReadBlock implements Device.
 func (d *StatsDevice) ReadBlock(idx uint64, dst []byte) error {
+	t0 := time.Now()
 	if err := d.inner.ReadBlock(idx, dst); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.Reads++
-	d.stats.BytesRead += uint64(len(dst))
-	d.mu.Unlock()
+	d.m.ReadLat.Since(t0)
+	d.m.ReadBlocks.Inc()
+	d.m.BytesRead.Add(uint64(len(dst)))
 	return nil
 }
 
 // WriteBlock implements Device.
 func (d *StatsDevice) WriteBlock(idx uint64, src []byte) error {
+	t0 := time.Now()
 	if err := d.inner.WriteBlock(idx, src); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.Writes++
-	d.stats.BytesWrite += uint64(len(src))
-	if d.traceOn {
-		d.writeTrace = append(d.writeTrace, idx)
+	d.m.WriteLat.Since(t0)
+	d.m.WriteBlocks.Inc()
+	d.m.BytesWrite.Add(uint64(len(src)))
+	if d.traceOn.Load() {
+		d.traceWrite(idx, 1)
 	}
-	d.mu.Unlock()
 	return nil
 }
 
 // ReadBlocks implements RangeDevice; the n blocks count exactly as n
 // per-block reads would, so write-amplification accounting is unchanged by
-// vectoring.
+// vectoring. Latency is one observation per range op.
 func (d *StatsDevice) ReadBlocks(start uint64, dst []byte) error {
+	t0 := time.Now()
 	if err := ReadBlocks(d.inner, start, dst); err != nil {
 		return err
 	}
-	n := uint64(len(dst) / d.inner.BlockSize())
-	d.mu.Lock()
-	d.stats.Reads += n
-	d.stats.BytesRead += uint64(len(dst))
-	d.mu.Unlock()
+	d.m.ReadLat.Since(t0)
+	d.m.ReadBlocks.Add(uint64(len(dst) / d.inner.BlockSize()))
+	d.m.BytesRead.Add(uint64(len(dst)))
 	return nil
 }
 
 // WriteBlocks implements RangeDevice. The write trace records every block
 // of the range in ascending order, as the per-block path would.
 func (d *StatsDevice) WriteBlocks(start uint64, src []byte) error {
+	t0 := time.Now()
 	if err := WriteBlocks(d.inner, start, src); err != nil {
 		return err
 	}
+	d.m.WriteLat.Since(t0)
 	n := uint64(len(src) / d.inner.BlockSize())
-	d.mu.Lock()
-	d.stats.Writes += n
-	d.stats.BytesWrite += uint64(len(src))
-	if d.traceOn {
-		for i := uint64(0); i < n; i++ {
-			d.writeTrace = append(d.writeTrace, start+i)
-		}
+	d.m.WriteBlocks.Add(n)
+	d.m.BytesWrite.Add(uint64(len(src)))
+	if d.traceOn.Load() {
+		d.traceWrite(start, n)
 	}
-	d.mu.Unlock()
 	return nil
 }
 
@@ -138,43 +220,41 @@ func (d *StatsDevice) WriteBlocks(start uint64, src []byte) error {
 // per-block path would, so write-amplification accounting is unchanged by
 // scatter-gather.
 func (d *StatsDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	t0 := time.Now()
 	if err := ReadBlocksVec(d.inner, start, v); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.Reads += uint64(v.Len())
-	d.stats.BytesRead += uint64(v.Bytes())
-	d.mu.Unlock()
+	d.m.ReadLat.Since(t0)
+	d.m.ReadBlocks.Add(uint64(v.Len()))
+	d.m.BytesRead.Add(uint64(v.Bytes()))
 	return nil
 }
 
 // WriteBlocksVec implements VecDevice. The write trace records every block
 // of the vec in ascending order, as the per-block path would.
 func (d *StatsDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	t0 := time.Now()
 	if err := WriteBlocksVec(d.inner, start, v); err != nil {
 		return err
 	}
+	d.m.WriteLat.Since(t0)
 	n := uint64(v.Len())
-	d.mu.Lock()
-	d.stats.Writes += n
-	d.stats.BytesWrite += uint64(v.Bytes())
-	if d.traceOn {
-		for i := uint64(0); i < n; i++ {
-			d.writeTrace = append(d.writeTrace, start+i)
-		}
+	d.m.WriteBlocks.Add(n)
+	d.m.BytesWrite.Add(uint64(v.Bytes()))
+	if d.traceOn.Load() {
+		d.traceWrite(start, n)
 	}
-	d.mu.Unlock()
 	return nil
 }
 
 // Sync implements Device.
 func (d *StatsDevice) Sync() error {
+	t0 := time.Now()
 	if err := d.inner.Sync(); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.Syncs++
-	d.mu.Unlock()
+	d.m.SyncLat.Since(t0)
+	d.m.Syncs.Inc()
 	return nil
 }
 

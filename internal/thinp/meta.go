@@ -320,11 +320,14 @@ func (p *Pool) CommitFull() error { return p.groupCommit(true) }
 // CommitStats reports how many Commit/CommitFull calls the pool has served
 // and how many successful A/B slot flips they cost (failed rounds and the
 // format commit of CreatePool are not flips). calls/flips is the group
-// commit's folding factor; serial callers see exactly 1.0.
+// commit's folding factor; serial callers see exactly 1.0. It is a thin
+// view over PoolMetrics — the obs counters are the single source of truth;
+// flips is loaded first so calls >= flips holds even against racing
+// commits.
 func (p *Pool) CommitStats() (calls, flips uint64) {
-	p.doorMu.Lock()
-	defer p.doorMu.Unlock()
-	return p.commitCalls, p.slotFlips
+	flips = p.m.CommitFlips.Load()
+	calls = p.m.CommitCalls.Load()
+	return calls, flips
 }
 
 // groupCommit is the commit door. The first committer through becomes the
@@ -336,7 +339,7 @@ func (p *Pool) CommitStats() (calls, flips uint64) {
 // flip durably covers the whole batch.
 func (p *Pool) groupCommit(full bool) error {
 	p.doorMu.Lock()
-	p.commitCalls++
+	p.m.CommitCalls.Inc()
 	if b := p.batch; b != nil {
 		b.full = b.full || full
 		p.doorMu.Unlock()
@@ -356,9 +359,7 @@ func (p *Pool) groupCommit(full bool) error {
 	if b.err == nil {
 		// Count only flips that actually reached the device: a failed
 		// round leaves the active slot untouched.
-		p.doorMu.Lock()
-		p.slotFlips++
-		p.doorMu.Unlock()
+		p.m.CommitFlips.Inc()
 	}
 	p.commitMu.Unlock()
 	close(b.done)
@@ -382,6 +383,7 @@ const (
 )
 
 func (p *Pool) commitOnce(full bool) error {
+	t0 := time.Now()
 	p.mu.Lock()
 	// A read-only or failed pool cannot make anything durable; refuse
 	// before touching the transaction record. Out-of-data-space pools
@@ -442,6 +444,12 @@ func (p *Pool) commitOnce(full bool) error {
 	p.txFree = make(map[uint64]struct{})
 	p.inFlightAlloc = committedAlloc
 	p.mu.Unlock()
+	// Phase boundary: the delta fold is done, the slot I/O starts. The
+	// whole round's latency lands in CommitTotalLat whichever way the I/O
+	// goes, so the histogram also reflects failed rounds.
+	p.m.CommitFoldLat.Since(t0)
+	defer p.m.CommitTotalLat.Since(t0)
+	tIO := time.Now()
 
 	ioErr := p.writeSlot(target, nBlocks, writeSet, super)
 	// Retry transient slot-write faults in place: the inactive slot's
@@ -452,6 +460,7 @@ func (p *Pool) commitOnce(full bool) error {
 		time.Sleep(time.Duration(attempt) * metaRetryDelay)
 		ioErr = p.writeSlot(target, nBlocks, writeSet, super)
 	}
+	p.m.CommitWriteLat.Since(tIO)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -84,6 +84,10 @@ func (p *Pool) setModeLocked(m PoolMode, reason string) {
 	}
 	p.mode = m
 	p.modeReason = reason
+	// Health-ladder moves feed the telemetry event log. The entry names
+	// the shared pool machinery only — reasons describe device or space
+	// state, never a thin device.
+	p.m.Events.Append("mode", fmt.Sprintf("%s: %s", m, reason))
 }
 
 // checkMutableLocked gates every metadata-mutating entry point (writes,
@@ -126,6 +130,7 @@ func (p *Pool) maybeRecoverSpaceLocked() {
 			close(p.spaceCh)
 			p.spaceCh = nil
 		}
+		p.m.Events.Append("recovery", "out-of-data-space: blocks reclaimed, pool back to write")
 	}
 }
 

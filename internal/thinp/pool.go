@@ -206,13 +206,10 @@ type Pool struct {
 	// batch non-nil parks on it and is covered by that batch's leader; the
 	// leader detaches the batch (under doorMu) only after acquiring
 	// commitMu, so every parked caller's mutations happened-before the
-	// leader's snapshot. commitCalls counts Commit/CommitFull calls,
-	// slotFlips counts actual superblock flips; their ratio is the group
-	// commit's folding factor.
-	doorMu      sync.Mutex
-	batch       *commitBatch
-	commitCalls uint64
-	slotFlips   uint64
+	// leader's snapshot. Commit call/flip counts live in m (PoolMetrics);
+	// their ratio is the group commit's folding factor.
+	doorMu sync.Mutex
+	batch  *commitBatch
 
 	// Flat-cost commit state. image is the assembled metadata image as a
 	// persistent mutable arena: commits apply dirty bitmap words and
@@ -261,6 +258,11 @@ type Pool struct {
 	// the writer critical section; dummyWriteLocked consumes staged blocks
 	// and only generates inline when the stage runs dry mid-burst.
 	stage noiseStage
+
+	// m is the pool's obs-backed telemetry (metrics.go). Memory-only, like
+	// everything in obs; the zero value is ready, so pools constructed
+	// anywhere — including tests building Pool literals — carry it.
+	m PoolMetrics
 }
 
 // noiseStage is the pre-generated dummy-noise buffer stock, guarded by its
@@ -336,6 +338,7 @@ func (p *Pool) stageNoise() {
 		}
 	}
 	p.stage.bufs = append(p.stage.bufs, fresh...)
+	p.m.NoiseStaged.Set(int64(len(p.stage.bufs)))
 	p.stage.mu.Unlock()
 }
 
@@ -368,6 +371,7 @@ func (p *Pool) takeStagedNoise() []byte {
 	b := p.stage.bufs[n-1]
 	p.stage.bufs[n-1] = nil
 	p.stage.bufs = p.stage.bufs[:n-1]
+	p.m.NoiseStaged.Set(int64(n - 1))
 	return b
 }
 
@@ -429,6 +433,7 @@ func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 		return nil, fmt.Errorf("thinp: formatting metadata: %w", err)
 	}
 	p.recovery = Recovery{Slot: p.active, TxID: p.txID}
+	p.m.Events.Append("format", fmt.Sprintf("pool formatted, tx %d in slot %d", p.txID, p.active))
 	return p, nil
 }
 
@@ -440,6 +445,8 @@ func OpenPool(data, meta storage.Device, opts Options) (*Pool, error) {
 		return nil, err
 	}
 	p.allocBM = p.bm.Clone()
+	p.m.Events.Append("open", fmt.Sprintf("pool opened, recovered tx %d from slot %d",
+		p.recovery.TxID, p.recovery.Slot))
 	return p, nil
 }
 
@@ -702,6 +709,10 @@ func (p *Pool) markThinDirty(id int) {
 // block the last durable commit still references is never handed out
 // before the free lands. Caller holds p.mu.
 func (p *Pool) allocateLocked() (uint64, error) {
+	// This is the telemetry choke point for provisioning: real provisions
+	// and dummy-write allocations both land here, so the public count and
+	// latency distribution cannot tell them apart (metrics.go).
+	t0 := time.Now()
 	pb, err := p.opts.Allocator.PickFree(p.allocBM)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrNoSpace, err)
@@ -714,6 +725,8 @@ func (p *Pool) allocateLocked() (uint64, error) {
 	}
 	p.txAlloc[pb] = struct{}{}
 	p.markBMDirty(pb)
+	p.m.Provisions.Inc()
+	p.m.AllocLat.Since(t0)
 	return pb, nil
 }
 
@@ -739,6 +752,7 @@ func (p *Pool) releaseLocked(pb uint64) error {
 		p.txFree[pb] = struct{}{}
 	}
 	p.markBMDirty(pb)
+	p.m.Releases.Inc()
 	return nil
 }
 

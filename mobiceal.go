@@ -75,6 +75,13 @@ type (
 	// Health is System.Health()'s snapshot of the degradation state: the
 	// pool's health-ladder mode plus the I/O scheduler's fault counters.
 	Health = core.Health
+	// Telemetry is System.Telemetry()'s snapshot of the full observability
+	// surface: pool health and space, commit/allocation metrics with
+	// latency histograms, scheduler gauges and span timings, and the
+	// region devices' traffic accounting. Memory-only and volume-blind by
+	// construction (see DESIGN.md "Observability"); String() renders the
+	// dm-thin-status-style one-liner that `mobiceal status` prints.
+	Telemetry = core.Telemetry
 	// PoolMode is the pool health ladder: Write → OutOfDataSpace →
 	// ReadOnly → Fail, one-way except the documented space recovery.
 	PoolMode = thinp.PoolMode
