@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 bench-pr7 fault-soak
+.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 mutexprofile fault-soak
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -39,6 +39,19 @@ bench-pr6:
 # Fig. 4 serial-path guard (see BENCH_PR7.json).
 bench-pr7:
 	./cmd/experiments/bench_pr7.sh
+
+# Sharded-pool benchmark set: the commit-per-write writer-scaling sweep
+# (1/4/16/64 writers x GOMAXPROCS 1/4). Set BASELINE=<rev> to also run the
+# pre-PR A/B pair (see BENCH_PR8.json).
+bench-pr8:
+	./cmd/experiments/bench_pr8.sh
+
+# Contention triage: the writer-scaling sweep with mutex profiling; the
+# profile lands in /tmp/mutex.out for `go tool pprof`.
+mutexprofile:
+	$(GO) test -run XXX -bench 'BenchmarkShardedWriters/procs=4' \
+		-benchtime 8000x -mutexprofile /tmp/mutex.out ./internal/thinp/
+	@echo "profile: go tool pprof -top /tmp/mutex.out"
 
 # Short-budget robustness soak: every fault-injection, health-ladder,
 # retry and sweep suite under the race detector, twice. Mirrors the CI

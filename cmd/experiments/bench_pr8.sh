@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_pr8.sh — run the PR 8 sharded-pool writer-scaling sweep and emit
+# the results as JSON on stdout (the format committed in BENCH_PR8.json).
+#
+#   ./cmd/experiments/bench_pr8.sh > /tmp/bench.json
+#   BENCHTIME=2000x ./cmd/experiments/bench_pr8.sh      # quicker smoke run
+#   BASELINE=cbe449c ./cmd/experiments/bench_pr8.sh     # also run the A/B
+#
+# BenchmarkShardedWriters is N commit-per-write writers, each op a
+# reallocate-on-write provisioning against the random allocator, swept over
+# 1/4/16/64 writers at GOMAXPROCS 1 and 4. The acceptance number for PR 8
+# is >= 3x ns/op at procs=4/writers=16 versus the pre-PR tree.
+#
+# With BASELINE set to a git rev, the script additionally checks that rev
+# out into a temporary worktree, drops the CURRENT bench file in (the
+# benchmark is written against the long-stable pool API plus a duck-typed
+# ReplaceBlock probe, so the same file compiles on both trees), and runs
+# the same sweep there — emitting two JSON arrays: baseline first, then
+# post. BENCH_PR8.json is those two arrays assembled by hand with the
+# commentary block.
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-20000x}"
+
+if [ -n "$BASELINE" ]; then
+	WT=$(mktemp -d /tmp/bench-pr8-base.XXXXXX)
+	trap 'git worktree remove --force "$WT" 2>/dev/null || true; rm -rf "$WT"' EXIT
+	git worktree add --detach "$WT" "$BASELINE" >&2
+	cp internal/thinp/sharded_bench_test.go "$WT/internal/thinp/"
+	(cd "$WT" && go test -run XXX -bench 'BenchmarkShardedWriters' \
+		-benchtime "$BENCHTIME" ./internal/thinp/) | go run ./cmd/experiments/benchjson
+fi
+
+go test -run XXX -bench 'BenchmarkShardedWriters' -benchtime "$BENCHTIME" \
+	./internal/thinp/ | go run ./cmd/experiments/benchjson

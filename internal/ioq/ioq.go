@@ -198,10 +198,12 @@ func NewScheduler(opts Options) *Scheduler {
 // A registered queue is tracked for the scheduler's lifetime (Queues,
 // system-wide barriers), so callers serving long-lived systems should
 // register each volume once and reuse the queue rather than registering
-// per handle.
+// per handle. The queue's registration index doubles as an allocation
+// affinity hint for layers below (the thin pool homes each queue's
+// provisioning on its own shard).
 func (s *Scheduler) Register(dev storage.Device) *VolumeQueue {
-	q := &VolumeQueue{s: s, dev: dev}
 	s.mu.Lock()
+	q := &VolumeQueue{s: s, dev: dev, index: len(s.queues)}
 	s.queues = append(s.queues, q)
 	s.mu.Unlock()
 	return q

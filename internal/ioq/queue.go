@@ -75,6 +75,9 @@ func (r *request) blocks(bs int) uint64 {
 type VolumeQueue struct {
 	s   *Scheduler
 	dev storage.Device
+	// index is the queue's registration order — a stable per-volume id the
+	// stack uses as the allocation-shard affinity hint.
+	index int
 
 	mu       sync.Mutex
 	pending  []*request
@@ -178,6 +181,10 @@ func (q *VolumeQueue) Quiesce() *Future {
 
 // Device returns the device stack this queue serves.
 func (q *VolumeQueue) Device() storage.Device { return q.dev }
+
+// Index returns the queue's registration index — the per-volume affinity
+// hint handed down to the allocation layer.
+func (q *VolumeQueue) Index() int { return q.index }
 
 func (q *VolumeQueue) submit(r *request) *Future {
 	if q.s.isClosed() {

@@ -108,13 +108,34 @@ func (d *CrashDevice) ReadBlocks(start uint64, dst []byte) error {
 	if err := checkRangeIO(start, dst, bs, d.inner.NumBlocks()); err != nil {
 		return err
 	}
-	for i := 0; i*bs < len(dst); i++ {
-		out := dst[i*bs : (i+1)*bs]
+	return d.readSpanLocked(start, dst)
+}
+
+// readSpanLocked fills dst — a whole number of blocks at start — from the
+// volatile cache and stable storage. Blocks absent from the cache are read
+// in maximal contiguous runs with one inner range call per run instead of
+// one call per block, which is what keeps the crash-enumeration harnesses'
+// full-device scans cheap. Caller holds d.mu and has validated the request.
+func (d *CrashDevice) readSpanLocked(start uint64, dst []byte) error {
+	bs := d.inner.BlockSize()
+	n := len(dst) / bs
+	for i := 0; i < n; {
 		if b, ok := d.cache[start+uint64(i)]; ok {
-			copy(out, b)
-		} else if err := d.inner.ReadBlock(start+uint64(i), out); err != nil {
+			copy(dst[i*bs:(i+1)*bs], b)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n {
+			if _, ok := d.cache[start+uint64(j)]; ok {
+				break
+			}
+			j++
+		}
+		if err := ReadBlocks(d.inner, start+uint64(i), dst[i*bs:j*bs]); err != nil {
 			return err
 		}
+		i = j
 	}
 	return nil
 }
@@ -138,7 +159,8 @@ func (d *CrashDevice) WriteBlocks(start uint64, src []byte) error {
 
 // ReadBlocksVec implements VecDevice: one lock hold for the whole vec,
 // blocks served from the volatile cache or stable storage exactly as the
-// flat range path does.
+// flat range path does — including its bulk copies of contiguous non-cached
+// runs (each segment is one span of the same block range).
 func (d *CrashDevice) ReadBlocksVec(start uint64, v BlockVec) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -150,16 +172,7 @@ func (d *CrashDevice) ReadBlocksVec(start uint64, v BlockVec) error {
 		return err
 	}
 	return v.Range(func(off int, seg []byte) error {
-		for i := 0; i*bs < len(seg); i++ {
-			idx := start + uint64(off+i)
-			out := seg[i*bs : (i+1)*bs]
-			if b, ok := d.cache[idx]; ok {
-				copy(out, b)
-			} else if err := d.inner.ReadBlock(idx, out); err != nil {
-				return err
-			}
-		}
-		return nil
+		return d.readSpanLocked(start+uint64(off), seg)
 	})
 }
 

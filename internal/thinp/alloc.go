@@ -79,3 +79,13 @@ func (a *RandomAllocator) PickFree(bm *Bitmap) (uint64, error) {
 	}
 	return bm.NthFree(a.src.Uint64n(free))
 }
+
+// drawRank draws one uniform rank in [0, n) from the allocator's source —
+// the sharded picker's single PRNG consumption per allocation, identical
+// to the one draw PickFree makes, so sharded and unsharded pools driven by
+// the same seed consume the sequence in lockstep.
+func (a *RandomAllocator) drawRank(n uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.src.Uint64n(n)
+}

@@ -13,6 +13,8 @@ package thinp
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 )
 
 // ErrBitmapFull reports an allocation attempt on a bitmap with no free bits.
@@ -23,10 +25,16 @@ var ErrBitmapFull = errors.New("thinp: no free blocks")
 // from overwriting hidden data (paper Sec. IV-A Q3): hidden allocations are
 // marked here like any others, and the marking is deniable because dummy
 // allocations look identical.
+//
+// The bitmap itself is not a synchronized structure: word mutation is the
+// caller's problem. The sharded pool partitions the words into disjoint
+// per-shard ranges and serializes mutation of each range under its shard
+// lock; the allocation count is atomic so Free/Allocated stay coherent
+// across concurrent shard-disjoint mutation.
 type Bitmap struct {
 	words  []uint64
 	nbits  uint64
-	nalloc uint64
+	nalloc atomic.Uint64
 }
 
 // NewBitmap returns an all-free bitmap tracking nbits blocks.
@@ -41,10 +49,10 @@ func NewBitmap(nbits uint64) *Bitmap {
 func (b *Bitmap) Size() uint64 { return b.nbits }
 
 // Allocated returns the number of allocated blocks.
-func (b *Bitmap) Allocated() uint64 { return b.nalloc }
+func (b *Bitmap) Allocated() uint64 { return b.nalloc.Load() }
 
 // Free returns the number of free blocks.
-func (b *Bitmap) Free() uint64 { return b.nbits - b.nalloc }
+func (b *Bitmap) Free() uint64 { return b.nbits - b.nalloc.Load() }
 
 func (b *Bitmap) check(i uint64) error {
 	if i >= b.nbits {
@@ -70,7 +78,7 @@ func (b *Bitmap) Set(i uint64) error {
 	w, m := i/64, uint64(1)<<(i%64)
 	if b.words[w]&m == 0 {
 		b.words[w] |= m
-		b.nalloc++
+		b.nalloc.Add(1)
 	}
 	return nil
 }
@@ -83,7 +91,7 @@ func (b *Bitmap) Clear(i uint64) error {
 	w, m := i/64, uint64(1)<<(i%64)
 	if b.words[w]&m != 0 {
 		b.words[w] &^= m
-		b.nalloc--
+		b.nalloc.Add(^uint64(0))
 	}
 	return nil
 }
@@ -147,7 +155,9 @@ func (b *Bitmap) NextFree(start uint64) (uint64, error) {
 func (b *Bitmap) Clone() *Bitmap {
 	words := make([]uint64, len(b.words))
 	copy(words, b.words)
-	return &Bitmap{words: words, nbits: b.nbits, nalloc: b.nalloc}
+	c := &Bitmap{words: words, nbits: b.nbits}
+	c.nalloc.Store(b.nalloc.Load())
+	return c
 }
 
 // MarshalTo serializes the bitmap's words into buf (little-endian) and
@@ -178,7 +188,7 @@ func UnmarshalBitmap(nbits uint64, buf []byte) (*Bitmap, error) {
 		nalloc += uint64(popcount(b.words[i] & wordMask(uint64(i), nbits)))
 		b.words[i] &= wordMask(uint64(i), nbits)
 	}
-	b.nalloc = nalloc
+	b.nalloc.Store(nalloc)
 	return b, nil
 }
 
@@ -200,13 +210,66 @@ func mask(n uint64) uint64 {
 	return (uint64(1) << n) - 1
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// freeInRange counts the free bits covered by words [w0, w1), honoring the
+// nbits boundary in the final word.
+func (b *Bitmap) freeInRange(w0, w1 int) uint64 {
+	var free uint64
+	for w := w0; w < w1; w++ {
+		m := wordMask(uint64(w), b.nbits)
+		free += uint64(popcount(m)) - uint64(popcount(b.words[w]&m))
 	}
-	return n
+	return free
+}
+
+// nthFreeInRange returns the block index of the rank-th free bit (0-based,
+// ascending) within words [w0, w1). It reports false if the range holds
+// fewer than rank+1 free bits. Because shards own ascending contiguous word
+// ranges, decomposing a global rank across shards and resolving the local
+// remainder here selects exactly the block the global NthFree would.
+func (b *Bitmap) nthFreeInRange(w0, w1 int, rank uint64) (uint64, bool) {
+	remaining := rank
+	for w := w0; w < w1; w++ {
+		m := wordMask(uint64(w), b.nbits)
+		freeBits := ^b.words[w] & m
+		n := uint64(bits.OnesCount64(freeBits))
+		if remaining >= n {
+			remaining -= n
+			continue
+		}
+		// Select the remaining-th set bit of freeBits.
+		for i := uint64(0); i < remaining; i++ {
+			freeBits &= freeBits - 1
+		}
+		return uint64(w)*64 + uint64(bits.TrailingZeros64(freeBits)), true
+	}
+	return 0, false
+}
+
+// nextFreeInRange returns the first free block at or after start within
+// words [w0, w1), wrapping around once inside the range — the sharded
+// sequential allocation order.
+func (b *Bitmap) nextFreeInRange(w0, w1 int, start uint64) (uint64, bool) {
+	lo := uint64(w0) * 64
+	hi := uint64(w1) * 64
+	if hi > b.nbits {
+		hi = b.nbits
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	if start < lo || start >= hi {
+		start = lo
+	}
+	span := hi - lo
+	for off := uint64(0); off < span; off++ {
+		idx := lo + (start-lo+off)%span
+		if !b.IsAllocated(idx) {
+			return idx, true
+		}
+	}
+	return 0, false
 }
 
 func putUint64(b []byte, v uint64) {

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"hash/crc64"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiceal/internal/storage"
@@ -284,6 +287,10 @@ type commitBatch struct {
 	done chan struct{}
 	err  error
 	full bool
+	// joins counts committers that parked on this batch. The leader polls
+	// it while deciding how long to hold the door open (see groupCommit):
+	// it is written under doorMu but read outside it, hence atomic.
+	joins atomic.Int64
 }
 
 // Commit persists the pool metadata transactionally: the transaction id is
@@ -331,17 +338,25 @@ func (p *Pool) CommitStats() (calls, flips uint64) {
 }
 
 // groupCommit is the commit door. The first committer through becomes the
-// round's leader; committers arriving while the leader is still waiting
-// for the previous round's commitMu join the leader's batch and simply
-// wait. The leader detaches the batch only after acquiring commitMu —
-// every joiner's mutations happened-before joining, which happened-before
-// the detach, which happens-before the leader's phase-1 snapshot — so one
+// round's leader; committers arriving while the round has not yet started
+// its delta snapshot join the leader's batch and simply wait. The batch
+// stays open while the leader waits for the previous round's commitMu AND
+// while it waits for the mapping lock inside commitOnce — the door only
+// closes once the leader holds p.mu exclusively (second level of the
+// two-level door). That matters under commit-per-write load: writers queue
+// on the mapping lock behind the in-flight round, and with an early-closing
+// door they would trickle into many small follow-up rounds; closing at the
+// p.mu boundary folds everyone who finished writing by then into one flip.
+// Correctness is unchanged: a joiner's mutations happened-before joining
+// (doorMu), joining happened-before the door close (doorMu again), and the
+// close happens-before the drain/detach under the same p.mu hold — so one
 // flip durably covers the whole batch.
 func (p *Pool) groupCommit(full bool) error {
 	p.doorMu.Lock()
 	p.m.CommitCalls.Inc()
 	if b := p.batch; b != nil {
 		b.full = b.full || full
+		b.joins.Add(1)
 		p.doorMu.Unlock()
 		<-b.done
 		return b.err
@@ -351,11 +366,25 @@ func (p *Pool) groupCommit(full bool) error {
 	p.doorMu.Unlock()
 
 	p.commitMu.Lock()
-	p.doorMu.Lock()
-	p.batch = nil // late arrivals lead the next round
-	full = b.full
-	p.doorMu.Unlock()
-	b.err = p.commitOnce(full)
+	// Door-hold: the leader yields while the batch is still filling — a
+	// fine-path mutator in flight or a fresh joiner both mean more of the
+	// current writer cohort is microseconds from this door, and starting
+	// the round now would push each of them into a follow-up round (the
+	// mapping lock inside commitOnce blocks them mid-request). The wait
+	// ends when the batch stabilizes — doorHoldIdle consecutive yields
+	// with no new joiner and no mutator in flight — or at the hard
+	// doorHoldSpins cap. A lone committer sees no joiners and no
+	// mutators, pays doorHoldIdle scheduler yields, and proceeds.
+	idle, lastJoins := 0, int64(-1)
+	for spin := 0; spin < doorHoldSpins && idle < doorHoldIdle; spin++ {
+		if j := b.joins.Load(); j != lastJoins || p.mutators.Load() > 0 {
+			lastJoins, idle = j, 0
+		} else {
+			idle++
+		}
+		runtime.Gosched()
+	}
+	b.err = p.commitOnce(full, b)
 	if b.err == nil {
 		// Count only flips that actually reached the device: a failed
 		// round leaves the active slot untouched.
@@ -382,9 +411,32 @@ const (
 	metaRetryDelay    = 200 * time.Microsecond
 )
 
-func (p *Pool) commitOnce(full bool) error {
+// doorHoldSpins caps how many scheduler yields a group-commit leader
+// spends waiting for its batch to stabilize — the bound matters when a
+// mutator blocks for longer than a request should take (e.g. parked in
+// waitForSpace) or a slow-commit workload trickles joiners forever.
+// doorHoldIdle is how many consecutive quiet yields (no new joiner, no
+// mutator in flight) count as stable; a lone committer pays exactly that
+// many yields.
+const (
+	doorHoldSpins = 256
+	doorHoldIdle  = 4
+)
+
+func (p *Pool) commitOnce(full bool, b *commitBatch) error {
 	t0 := time.Now()
 	p.mu.Lock()
+	// Close the commit door now that the mapping lock is held: every
+	// committer that joined b so far finished its mutations before joining,
+	// and those mutations are visible to the drain below. Late arrivals
+	// lead the next round. (b is nil for the format commit of a pool under
+	// construction, which has no door.)
+	if b != nil {
+		p.doorMu.Lock()
+		p.batch = nil
+		full = full || b.full
+		p.doorMu.Unlock()
+	}
 	// A read-only or failed pool cannot make anything durable; refuse
 	// before touching the transaction record. Out-of-data-space pools
 	// still commit — that is how reclaim becomes durable.
@@ -392,12 +444,18 @@ func (p *Pool) commitOnce(full bool) error {
 		p.mu.Unlock()
 		return err
 	}
+	// First level of the two-level door: fold the per-shard and per-stripe
+	// deltas — dirty bitmap words, dirty thin ids — into the pool-global
+	// sets the arena fold below consumes. Writers park on mu (held
+	// exclusively here), so the drain sees a quiescent delta.
+	p.drainDirtyLocked()
 	// The new transaction id is published to p.txID only at the phase-3
 	// flip: until the superblock lands, TransactionID() must keep
 	// reporting the last durable transaction, not the one in flight.
 	newTx := p.txID + 1
 	changed := p.changed
 	changed.clearAll()
+	var patches *commitPatch
 	switch {
 	case full || p.structDirty || p.image == nil:
 		// Structural change (thin created/deleted), explicit full commit,
@@ -409,26 +467,26 @@ func (p *Pool) commitOnce(full bool) error {
 	case len(p.dirtyThins) == 0 && len(p.dirtyBM) == 0:
 		// Nothing changed but the transaction id; the arena is current.
 	default:
-		if !p.applyDeltaLocked(changed) {
-			// The in-place accounting lost sync with the arena (or the
-			// image outgrew its slot): rebuild from the page tables and
-			// treat every block as changed.
-			changed.setAll()
-			if err := p.rebuildImageLocked(changed); err != nil {
-				p.mu.Unlock()
-				return err
+		// Try to capture the delta as fixed-position image patches so the
+		// arena work itself can run after p.mu is released; a delta that
+		// would move bytes around falls back to the in-lock fold.
+		if patches = p.snapshotDeltaLocked(); patches == nil {
+			if !p.applyDeltaLocked(changed) {
+				// The in-place accounting lost sync with the arena (or the
+				// image outgrew its slot): rebuild from the page tables and
+				// treat every block as changed.
+				changed.setAll()
+				if err := p.rebuildImageLocked(changed); err != nil {
+					p.mu.Unlock()
+					return err
+				}
 			}
 		}
 	}
 
 	target := 1 - p.active
 	writeSet := p.pending[target]
-	writeSet.or(changed)
-	if full {
-		writeSet.setAll()
-	}
-	nBlocks := uint64(len(p.image) / p.meta.BlockSize())
-	super := p.marshalSuperLocked(newTx)
+	nThins := len(p.thins)
 	// Detach the transaction record: this commit makes exactly these
 	// allocations and frees durable. Mutations that land while the slot
 	// I/O is in flight accumulate in fresh maps and belong to the next
@@ -438,12 +496,25 @@ func (p *Pool) commitOnce(full bool) error {
 	// stays visible through inFlightAlloc: the allocations are still
 	// pending (not durable) until the flip, and PendingAllocations must
 	// say so.
-	committedAlloc := p.txAlloc
-	committedFree := p.txFree
-	p.txAlloc = make(map[uint64]struct{})
-	p.txFree = make(map[uint64]struct{})
+	committedAlloc, committedFree := p.detachTxLocked()
 	p.inFlightAlloc = committedAlloc
 	p.mu.Unlock()
+	// Second half of the fold, now outside the mapping lock: when the
+	// delta snapshotted as pure patches, the arena writes, checksum
+	// refresh, and superblock marshal all happen here — with writers
+	// already provisioning the next round. That is safe because the
+	// arena, the checksum cache, and the pending sets are owned by
+	// commitMu, and every patch position and value was fixed under p.mu
+	// above.
+	if patches != nil {
+		p.applyPatches(patches, changed)
+	}
+	writeSet.or(changed)
+	if full {
+		writeSet.setAll()
+	}
+	nBlocks := uint64(len(p.image) / p.meta.BlockSize())
+	super := p.marshalSuper(newTx, nThins)
 	// Phase boundary: the delta fold is done, the slot I/O starts. The
 	// whole round's latency lands in CommitTotalLat whichever way the I/O
 	// goes, so the histogram also reflects failed rounds.
@@ -474,12 +545,7 @@ func (p *Pool) commitOnce(full bool) error {
 		// the same slot, so no duplicate id can reach stable storage.)
 		writeSet.setAll()
 		p.pending[p.active].or(changed)
-		for pb := range committedAlloc {
-			p.txAlloc[pb] = struct{}{}
-		}
-		for pb := range committedFree {
-			p.txFree[pb] = struct{}{}
-		}
+		p.mergeTxBackLocked(committedAlloc, committedFree)
 		// The metadata device will not take a commit: nothing new can
 		// become durable, so the pool degrades to read-only. The merge-back
 		// above left the in-memory delta intact, so reads keep serving the
@@ -493,9 +559,9 @@ func (p *Pool) commitOnce(full bool) error {
 	p.active = target
 	p.txID = newTx
 	// The frees are durable now: quarantined blocks return to the
-	// allocator's view.
+	// allocator's view (and their home shards' free gauges).
 	for pb := range committedFree {
-		if err := p.allocBM.Clear(pb); err != nil {
+		if err := p.releaseQuarantinedLocked(pb); err != nil {
 			// The superblock flip already landed but the allocator view
 			// cannot be reconciled: in-memory state is no longer
 			// trustworthy. Fail the pool — only a reopen, which reloads
@@ -564,17 +630,18 @@ func (p *Pool) rebuildImageLocked(changed *metaDirty) error {
 		changed.markRange(uint64(padded/bs), uint64(len(old)/bs))
 	}
 	p.image = img
-	p.refreshSumsLocked(changed)
+	p.refreshSums(changed)
 	resetSet(&p.dirtyThins)
 	resetSet(&p.dirtyBM)
 	p.structDirty = false
 	return nil
 }
 
-// refreshSumsLocked re-hashes the image blocks recorded in changed into the
+// refreshSums re-hashes the image blocks recorded in changed into the
 // per-block checksum cache, resizing the cache to the current image.
-// Caller holds p.mu.
-func (p *Pool) refreshSumsLocked(changed *metaDirty) {
+// Caller owns the arena: p.mu exclusively on the rebuild/splice paths, or
+// commitMu alone on the out-of-lock patch path.
+func (p *Pool) refreshSums(changed *metaDirty) {
 	bs := p.meta.BlockSize()
 	nb := len(p.image) / bs
 	if cap(p.blockSums) < nb {
@@ -617,14 +684,9 @@ func (p *Pool) applyDeltaLocked(changed *metaDirty) bool {
 	}
 
 	// Dirty bitmap words patch in place; their positions are fixed.
-	for w := range p.dirtyBM {
-		if int(w)*8+8 > p.bmLen() {
-			return false
-		}
-		putUint64(p.image[w*8:], p.bm.words[w])
-		markBytes(changed, int(w)*8, int(w)*8+8, bs)
+	if !p.patchBitmapLocked(changed) {
+		return false
 	}
-	resetSet(&p.dirtyBM)
 
 	// Classify dirty thins: a thin whose adds exactly equal its removes
 	// was discarded-and-reprovisioned at the same vblocks — entry
@@ -656,14 +718,185 @@ func (p *Pool) applyDeltaLocked(changed *metaDirty) bool {
 	}
 	resetSet(&p.dirtyThins)
 	if len(splice) == 0 {
-		p.refreshSumsLocked(changed)
+		p.refreshSums(changed)
 		return true
 	}
 	sort.Ints(splice)
 	if !p.spliceSegmentsLocked(splice, oldContent, newContent, newPadded, changed) {
 		return false
 	}
-	p.refreshSumsLocked(changed)
+	p.refreshSums(changed)
+	return true
+}
+
+// commitPatch is a commit delta captured under the mapping lock as raw
+// fixed-position image patches: dirty bitmap words with their post-delta
+// values, and in-place (vblock, pblock) entry updates with their byte
+// positions. Because nothing in it shifts image bytes, it can be applied
+// to the arena after p.mu is released, under commitMu alone.
+type commitPatch struct {
+	words   []wordPatch
+	entries []entryPatch
+}
+
+// wordPatch is one dirty bitmap word: its index and post-delta value.
+type wordPatch struct {
+	w   uint64
+	val uint64
+}
+
+// entryPatch is one pure in-place mapping update: the image byte position
+// of a (vblock, pblock) entry and the new physical block for pos+8.
+type entryPatch struct {
+	pos int
+	pb  uint64
+}
+
+// snapshotDeltaLocked captures an all-pure commit delta — every dirty
+// bitmap word in range plus, for every dirty thin, an exact
+// discard-and-reprovision set whose entry positions are unchanged — as a
+// commitPatch, then resets the delta bookkeeping. It returns nil WITHOUT
+// mutating anything when any part of the delta would change the image
+// layout; the caller then falls through to applyDeltaLocked under the
+// lock as before. A successful snapshot is what lets the group-commit
+// leader release the mapping lock before touching the arena: the heavy
+// half of the fold (image writes, checksum refresh, superblock marshal)
+// runs with writers already provisioning the next round. Caller holds
+// p.mu exclusively.
+func (p *Pool) snapshotDeltaLocked() *commitPatch {
+	for w := range p.dirtyBM {
+		if int(w)*8+8 > p.bmLen() {
+			return nil
+		}
+	}
+	nEntries := 0
+	for id := range p.dirtyThins {
+		tm, ok := p.thins[id]
+		if !ok {
+			return nil
+		}
+		if len(tm.added) != len(tm.removed) {
+			return nil
+		}
+		for vb := range tm.added {
+			if _, ok := tm.removed[vb]; !ok {
+				return nil
+			}
+		}
+		nEntries += len(tm.added)
+	}
+	cp := &commitPatch{
+		words:   make([]wordPatch, 0, len(p.dirtyBM)),
+		entries: make([]entryPatch, 0, nEntries),
+	}
+	for w := range p.dirtyBM {
+		cp.words = append(cp.words, wordPatch{w: w, val: p.bm.words[w]})
+	}
+	for id := range p.dirtyThins {
+		tm := p.thins[id]
+		for vb := range tm.added {
+			pb, ok := tm.pt.get(vb)
+			if !ok {
+				return nil
+			}
+			pos := tm.segOff + thinHeaderLen + 16*int(tm.pt.rank(vb))
+			if pos+16 > tm.segOff+tm.segLen || getUint64(p.image[pos:]) != vb {
+				return nil
+			}
+			cp.entries = append(cp.entries, entryPatch{pos: pos, pb: pb})
+		}
+	}
+	// The whole delta validated; only now is the bookkeeping consumed.
+	for id := range p.dirtyThins {
+		tm := p.thins[id]
+		resetSet(&tm.added)
+		resetSet(&tm.removed)
+	}
+	resetSet(&p.dirtyThins)
+	resetSet(&p.dirtyBM)
+	return cp
+}
+
+// applyPatches writes a snapshotted pure delta into the arena, marks the
+// touched meta blocks in changed, and refreshes their checksums. Caller
+// holds commitMu, which owns the arena; the mapping lock is NOT held —
+// every position and value was fixed by snapshotDeltaLocked.
+func (p *Pool) applyPatches(cp *commitPatch, changed *metaDirty) {
+	bs := p.meta.BlockSize()
+	for _, wp := range cp.words {
+		putUint64(p.image[wp.w*8:], wp.val)
+		markBytes(changed, int(wp.w)*8, int(wp.w)*8+8, bs)
+	}
+	for _, ep := range cp.entries {
+		putUint64(p.image[ep.pos+8:], ep.pb)
+		markBytes(changed, ep.pos+8, ep.pos+16, bs)
+	}
+	p.refreshSums(changed)
+}
+
+// foldParallelMin is the dirty-word count below which the bitmap patch
+// stays serial: spawning workers costs more than patching a few hundred
+// words in place.
+const foldParallelMin = 512
+
+// patchBitmapLocked patches every dirty bitmap word into the arena and
+// marks the touched meta blocks in changed, reporting false when a word
+// falls outside the bitmap region (caller rebuilds). Large deltas — a
+// heavily parallel round dirties words across every shard — are patched by
+// a small worker pool over sorted, disjoint word ranges; each worker marks
+// its own metaDirty part and the parts are OR-ed into changed afterwards
+// (metaDirty is not concurrency-safe). Caller holds p.mu exclusively, so
+// the bitmap words and the arena are quiescent. The word positions are
+// fixed offsets in the image, which is what makes the fold embarrassingly
+// parallel.
+func (p *Pool) patchBitmapLocked(changed *metaDirty) bool {
+	bs := p.meta.BlockSize()
+	for w := range p.dirtyBM {
+		if int(w)*8+8 > p.bmLen() {
+			return false
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if len(p.dirtyBM) < foldParallelMin || workers < 2 {
+		for w := range p.dirtyBM {
+			putUint64(p.image[w*8:], p.bm.words[w])
+			markBytes(changed, int(w)*8, int(w)*8+8, bs)
+		}
+		resetSet(&p.dirtyBM)
+		return true
+	}
+	words := make([]uint64, 0, len(p.dirtyBM))
+	for w := range p.dirtyBM {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	chunk := (len(words) + workers - 1) / workers
+	parts := make([]*metaDirty, 0, workers)
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(words); lo += chunk {
+		hi := lo + chunk
+		if hi > len(words) {
+			hi = len(words)
+		}
+		part := newMetaDirty(changed.n)
+		parts = append(parts, part)
+		wg.Add(1)
+		go func(ws []uint64, part *metaDirty) {
+			defer wg.Done()
+			for _, w := range ws {
+				putUint64(p.image[w*8:], p.bm.words[w])
+				markBytes(part, int(w)*8, int(w)*8+8, bs)
+			}
+		}(words[lo:hi], part)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		changed.or(part)
+	}
+	resetSet(&p.dirtyBM)
 	return true
 }
 
@@ -974,10 +1207,12 @@ func (p *Pool) writeSlot(slot int, nBlocks uint64, dirty *metaDirty, super []byt
 	return nil
 }
 
-// marshalSuperLocked builds the superblock sealing the arena at
-// transaction tx. The image checksum folds the cached per-block sums
-// instead of re-hashing the image. Caller holds p.mu.
-func (p *Pool) marshalSuperLocked(tx uint64) []byte {
+// marshalSuper builds the superblock sealing the arena at transaction tx
+// with nThins thin devices (snapshotted under the mapping lock by the
+// caller). The image checksum folds the cached per-block sums instead of
+// re-hashing the image. Caller holds commitMu, which owns the arena and
+// the checksum cache; everything else read here is immutable.
+func (p *Pool) marshalSuper(tx uint64, nThins int) []byte {
 	if p.superBuf == nil {
 		p.superBuf = make([]byte, p.meta.BlockSize())
 	}
@@ -988,7 +1223,7 @@ func (p *Pool) marshalSuperLocked(tx uint64) []byte {
 	putUint32(buf[12:], uint32(p.data.BlockSize()))
 	putUint64(buf[16:], p.data.NumBlocks())
 	putUint64(buf[superTxOff:], tx)
-	putUint32(buf[superCountOff:], uint32(len(p.thins)))
+	putUint32(buf[superCountOff:], uint32(nThins))
 	putUint64(buf[superImgLenOff:], uint64(len(p.image)))
 	putUint64(buf[superImgSumOff:], p.crcFold.fold(p.blockSums))
 	putUint64(buf[superSelfSumOff:], crc64.Checksum(buf[:superSelfSumOff], crcTable))
@@ -1143,7 +1378,7 @@ func (p *Pool) load() error {
 		p.pending[c.slot].clearAll()
 		all := newMetaDirty(uint64(len(raw) / bs))
 		all.setAll()
-		p.refreshSumsLocked(all)
+		p.refreshSums(all)
 		p.structDirty = false
 		p.recovery = Recovery{Slot: c.slot, TxID: c.txID}
 		loaded = true

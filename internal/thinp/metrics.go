@@ -4,13 +4,16 @@ import "mobiceal/internal/obs"
 
 // PoolMetrics is the pool's obs-backed accounting. Every public-facing
 // number here is recorded at a choke point that real provisioning and the
-// dummy-write mechanism traverse identically — allocateLocked and
-// releaseLocked — or describes machinery shared by every volume (commit
-// rounds, noise-stage stock, health events). Nothing is counted per thin
-// device, so the surface cannot attribute traffic to the public or hidden
-// half of a system; the per-kind split (DummyBlocksWritten) stays an
-// internal experiments-only accessor and is deliberately absent from
-// Snapshot (see DESIGN.md "Observability").
+// dummy-write mechanism traverse identically — allocate and release — or
+// describes machinery shared by every volume (commit rounds, noise-stage
+// stock, health events). Nothing is counted per thin device, so the
+// surface cannot attribute traffic to the public or hidden half of a
+// system; the per-kind split (DummyBlocksWritten) stays an internal
+// experiments-only accessor and is deliberately absent from Snapshot (see
+// DESIGN.md "Observability"). The per-shard gauges follow the same rule:
+// shards partition physical space, not volumes, so per-shard free counts
+// and steal counters reveal layout churn only — which the random allocator
+// already makes volume-independent.
 type PoolMetrics struct {
 	// Provisions counts physical blocks handed out by the allocator; real
 	// provisioning and dummy-write allocations both pass through
@@ -44,6 +47,16 @@ type PoolMetrics struct {
 	Events obs.EventLog
 }
 
+// ShardSnapshot is the point-in-time view of one allocation shard:
+// current free blocks, cumulative steals (allocations served for an
+// affinity homed elsewhere), and the shard-lock acquire-latency
+// distribution — the contention triage signal.
+type ShardSnapshot struct {
+	Free    int64            `json:"free"`
+	Steals  uint64           `json:"steals"`
+	LockLat obs.HistSnapshot `json:"lock_lat"`
+}
+
 // PoolSnapshot is a point-in-time copy of PoolMetrics, the form that
 // travels in telemetry snapshots.
 type PoolSnapshot struct {
@@ -58,6 +71,9 @@ type PoolSnapshot struct {
 	CommitTotalLat obs.HistSnapshot `json:"commit_total_lat"`
 
 	NoiseStaged int64 `json:"noise_staged"`
+
+	// Shards reports the per-allocation-shard gauges in shard order.
+	Shards []ShardSnapshot `json:"shards,omitempty"`
 
 	Events []obs.Event `json:"events"`
 }
@@ -81,6 +97,16 @@ func (p *Pool) Metrics() *PoolMetrics { return &p.m }
 func (p *Pool) MetricsSnapshot() PoolSnapshot {
 	m := &p.m
 	flips := m.CommitFlips.Load()
+	// The shard slice is immutable after pool construction; the gauges
+	// inside are atomics, so no pool lock is needed here.
+	shards := make([]ShardSnapshot, len(p.shards))
+	for i, s := range p.shards {
+		shards[i] = ShardSnapshot{
+			Free:    s.free.Load(),
+			Steals:  s.steals.Load(),
+			LockLat: s.lockLat.Snapshot(),
+		}
+	}
 	return PoolSnapshot{
 		Provisions:     m.Provisions.Load(),
 		Releases:       m.Releases.Load(),
@@ -91,6 +117,7 @@ func (p *Pool) MetricsSnapshot() PoolSnapshot {
 		CommitWriteLat: m.CommitWriteLat.Snapshot(),
 		CommitTotalLat: m.CommitTotalLat.Snapshot(),
 		NoiseStaged:    m.NoiseStaged.Load(),
+		Shards:         shards,
 		Events:         m.Events.Snapshot(),
 	}
 }

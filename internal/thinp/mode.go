@@ -134,6 +134,28 @@ func (p *Pool) maybeRecoverSpaceLocked() {
 	}
 }
 
+// noteNoSpace records a provisioning failure for lack of data space from a
+// fine-grained (read-locked) writer, which cannot mutate the mode ladder in
+// place. Called with no pool lock held; it takes p.mu exclusively, enters
+// OutOfDataSpace, and immediately runs the recovery check — the failed
+// request's own unwind may already have freed blocks, and skipping the
+// check would leave the pool parked until the next discard.
+func (p *Pool) noteNoSpace() {
+	p.mu.Lock()
+	p.enterNoSpaceLocked()
+	p.maybeRecoverSpaceLocked()
+	p.mu.Unlock()
+}
+
+// maybeRecoverSpace is the lock-acquiring wrapper fine-grained paths use to
+// poke space recovery after releasing blocks under the shared lock. Called
+// with no pool lock held.
+func (p *Pool) maybeRecoverSpace() {
+	p.mu.Lock()
+	p.maybeRecoverSpaceLocked()
+	p.mu.Unlock()
+}
+
 // waitForSpace blocks a writer that hit ErrNoSpace until reclaim makes
 // space available or Options.NoSpaceTimeout expires, reporting whether the
 // caller should retry provisioning. With no timeout configured (the

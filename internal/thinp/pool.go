@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiceal/internal/prng"
@@ -70,6 +71,12 @@ type Options struct {
 	// ErrNoSpace — dm-thin's no_space_timeout. Zero (the default) fails
 	// fast, dm-thin's error_if_no_space behaviour.
 	NoSpaceTimeout time.Duration
+	// Shards overrides the allocation shard count (shard.go). Zero selects
+	// the default policy: the random allocator auto-shards (its sharded
+	// pick is exactly equivalent to the unsharded one), sequential and
+	// custom allocators run unsharded. The shard split is runtime-only —
+	// the on-disk format carries one logical bitmap either way.
+	Shards int
 }
 
 func (o *Options) fill() {
@@ -150,18 +157,26 @@ func (tm *thinMeta) noteUnmapped(vb uint64) {
 // Pool is the thin-pool target: data device + metadata device + global
 // bitmap + per-thin mappings. Pool is safe for concurrent use.
 //
-// Locking is decomposed into three pieces so concurrent callers only
-// contend where they genuinely share state:
+// Locking is decomposed so concurrent callers only contend where they
+// genuinely share state:
 //
-//   - mu, a sync.RWMutex, guards the mapping state: the thins map, the
-//     per-thin page tables, the bitmap, and the delta bookkeeping. Thin
-//     I/O (reads and overwrites) resolves its mappings AND performs its
-//     data-device transfers under the shared mode, so concurrent readers
-//     and writers of any thins never contend with each other — and a
-//     concurrent discard + commit + reallocation can never retarget an
-//     in-flight transfer at a physical block that now belongs to another
-//     thin, because discard, provisioning and the commit's flip take the
-//     lock exclusively and therefore wait for in-flight transfers.
+//   - mu, a sync.RWMutex, is the pool-global lock. Exclusive holders
+//     (thin create/delete, discard, the commit's fold and flip phases, the
+//     exclusive write fallback) own everything. SHARED holders — all thin
+//     I/O, including provisioning writes — own nothing by themselves:
+//     under RLock, per-thin mapping state is guarded by the thin's mapping
+//     stripe (stripes, keyed by thin id) and allocator/bitmap state by the
+//     owning allocation shard (shards, keyed by block number, shard.go).
+//     The invariant: stripe- or shard-guarded state is touched only while
+//     holding (mu shared + the inner lock) or mu exclusively. Since every
+//     fine-grained writer holds mu shared for the duration, an exclusive
+//     acquisition is still the pool-wide quiescence point the commit flip
+//     and discard/reallocation atomicity rely on.
+//   - Lock order: mu ≻ stripe ≻ shard ≻ leaves (noise stage, dummyMu,
+//     allocator, policy). At most one stripe is held at a time — a dummy
+//     burst releases the triggering thin's stripe before locking the
+//     target's — and multi-shard fallbacks take shard locks in ascending
+//     order.
 //   - commitMu serializes the commit machinery (the image arena, the
 //     per-slot pending sets, the slot device writes). Commit holds mu only
 //     while snapshotting the delta into the arena and while flipping the
@@ -169,7 +184,11 @@ func (tm *thinMeta) noteUnmapped(vb uint64) {
 //     alone, so reads and writes proceed while a commit is in flight.
 //   - doorMu guards the group-commit door: concurrent committers park at
 //     the door and one leader folds every parked caller's delta into a
-//     single A/B slot flip (see Commit).
+//     single A/B slot flip (see Commit). With sharding the door is
+//     two-level: writers fold their deltas into per-shard/per-stripe sets
+//     as they go, and the leader's phase 1 drains those concurrent-side
+//     arenas into the global delta (drainDirtyLocked) before the single
+//     flip.
 type Pool struct {
 	mu    sync.RWMutex
 	data  storage.Device
@@ -178,25 +197,38 @@ type Pool struct {
 	thins map[int]*thinMeta
 	opts  Options
 	txID  uint64
-	// txAlloc records blocks allocated since the last commit — the paper's
-	// fix for the transaction problem (Sec. V-A). The effective bitmap
-	// already contains them; the record exists so an aborted transaction
-	// can roll back and tests can verify the invariant.
-	txAlloc map[uint64]struct{}
-	// txFree quarantines blocks freed from *committed* state since the
-	// last commit, and allocBM is the allocator's view: bm plus the
-	// quarantine. The last durable metadata still maps those blocks, so
-	// reusing one before the free commits would let a crash rollback
-	// resurrect a committed mapping that now points at another volume's
-	// fresh data. Blocks allocated and freed within the same transaction
-	// are exempt — no committed mapping references them.
-	txFree  map[uint64]struct{}
+	// The transaction record — blocks allocated since the last commit (the
+	// paper's fix for the transaction problem, Sec. V-A) and blocks freed
+	// from *committed* state quarantined until the free is durable — lives
+	// sharded: each allocation shard carries the txAlloc/txFree slice for
+	// its block range (shard.go). allocBM is the allocator's view: bm plus
+	// the quarantine. The last durable metadata still maps quarantined
+	// blocks, so reusing one before the free commits would let a crash
+	// rollback resurrect a committed mapping that now points at another
+	// volume's fresh data. Blocks allocated and freed within the same
+	// transaction are exempt — no committed mapping references them.
 	allocBM *Bitmap
 	// inFlightAlloc is the detached txAlloc of a commit whose slot I/O is
 	// in flight: those allocations are not durable until the flip, so
 	// PendingAllocations keeps counting them. Non-nil only between a
 	// commit's phase 1 and phase 3.
 	inFlightAlloc map[uint64]struct{}
+
+	// shards is the runtime partition of the data space into allocation
+	// shards (shard.go): per-shard lock, free gauge and transaction delta.
+	// The live txAlloc/txFree reside in the shards; the pool-level maps
+	// above hold only drained/merged state around commits. Built once at
+	// pool construction, immutable afterwards. wordsPerShard is the fixed
+	// bitmap-word width of every shard but the last.
+	shards        []*allocShard
+	wordsPerShard int
+	// stripes are the per-thin mapping locks, keyed by thin id mod
+	// mapStripes. A fine-grained writer (holding mu shared) mutates a
+	// thin's page table and delta bookkeeping only under its stripe.
+	stripes [mapStripes]mapStripe
+	// dummyMu serializes draws from opts.DummySrc (a bare prng.Source, not
+	// thread-safe) across concurrent dummy bursts.
+	dummyMu sync.Mutex
 
 	// commitMu serializes commits end to end: arena patching, slot device
 	// writes, and the per-slot pending bookkeeping. It is held across the
@@ -210,6 +242,13 @@ type Pool struct {
 	// their ratio is the group commit's folding factor.
 	doorMu sync.Mutex
 	batch  *commitBatch
+	// mutators counts fine-path mutating requests (vec writes, replaces,
+	// discards) currently between their API boundary and their unlock — the
+	// jbd2 t_updates analogue. A group-commit leader that just acquired
+	// commitMu yields while it is non-zero (bounded, see doorHoldSpins):
+	// those requests are microseconds from the commit door, and holding the
+	// door for them turns N trickling rounds into one big fold.
+	mutators atomic.Int64
 
 	// Flat-cost commit state. image is the assembled metadata image as a
 	// persistent mutable arena: commits apply dirty bitmap words and
@@ -250,7 +289,9 @@ type Pool struct {
 
 	// DummyBlocksWritten counts noise blocks produced by the dummy-write
 	// mechanism; experiments read it for write-amplification accounting.
-	dummyBlocksWritten uint64
+	// Atomic: dummy bursts run under a stripe lock, not the exclusive pool
+	// lock.
+	dummyBlocksWritten atomic.Uint64
 
 	// stage holds pre-generated dummy-write noise payloads. Writers refill
 	// it before entering the exclusive mapping lock (stageNoise), so the
@@ -263,6 +304,28 @@ type Pool struct {
 	// everything in obs; the zero value is ready, so pools constructed
 	// anywhere — including tests building Pool literals — carry it.
 	m PoolMetrics
+}
+
+// mapStripes is the number of per-thin mapping lock stripes. Thin ids map
+// onto stripes by modulo, so with the paper's two-to-few-volume layouts
+// every volume gets a private stripe, and with thousands of thins the
+// collision cost is bounded contention, not correctness.
+const mapStripes = 64
+
+// mapStripe is one per-thin mapping lock: an RWMutex guarding the page
+// tables and delta bookkeeping of every thin id hashing onto it, plus the
+// stripe-local dirty-thin set drained into the pool-global one at commit
+// (drainDirtyLocked). Valid only while also holding Pool.mu (shared for
+// fine-grained I/O, exclusive holders own the state outright but still
+// take the stripe for uniformity).
+type mapStripe struct {
+	mu    sync.RWMutex
+	dirty map[int]struct{}
+}
+
+// stripeOf returns the mapping stripe owning thin id.
+func (p *Pool) stripeOf(id int) *mapStripe {
+	return &p.stripes[uint(id)%mapStripes]
 }
 
 // noiseStage is the pre-generated dummy-noise buffer stock, guarded by its
@@ -296,10 +359,13 @@ func (p *Pool) stageNoise() {
 		return
 	}
 	// Reuse consumed buffers: their old keystream is overwritten below.
+	// The kept prefix has its capacity clipped so a concurrent
+	// recycleNoise append reallocates instead of writing header slots the
+	// detached tail still references outside the lock.
 	reuse := p.stage.free
-	if len(reuse) > need {
-		p.stage.free = reuse[:len(reuse)-need]
-		reuse = reuse[len(reuse)-need:]
+	if n := len(reuse) - need; n > 0 {
+		p.stage.free = reuse[:n:n]
+		reuse = reuse[n:]
 	} else {
 		p.stage.free = nil
 	}
@@ -390,11 +456,12 @@ func newPool(data, meta storage.Device, opts Options) *Pool {
 		meta:        meta,
 		opts:        opts,
 		thins:       make(map[int]*thinMeta),
-		txAlloc:     make(map[uint64]struct{}),
-		txFree:      make(map[uint64]struct{}),
 		dirtyThins:  make(map[int]struct{}),
 		dirtyBM:     make(map[uint64]struct{}),
 		structDirty: true,
+	}
+	for i := range p.stripes {
+		p.stripes[i].dirty = make(map[int]struct{})
 	}
 	slots := p.slotBlocks()
 	p.pending[0] = newMetaDirty(slots)
@@ -415,6 +482,7 @@ func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 	p := newPool(data, meta, opts)
 	p.bm = NewBitmap(data.NumBlocks())
 	p.allocBM = NewBitmap(data.NumBlocks())
+	p.initShards()
 	// Start with slot 1 nominally active so the format commit below lands
 	// transaction 1 in slot 0.
 	p.active = 1
@@ -429,7 +497,7 @@ func CreatePool(data, meta storage.Device, opts Options) (*Pool, error) {
 			return nil, fmt.Errorf("thinp: clearing superblock %d: %w", slot, err)
 		}
 	}
-	if err := p.commitOnce(true); err != nil {
+	if err := p.commitOnce(true, nil); err != nil {
 		return nil, fmt.Errorf("thinp: formatting metadata: %w", err)
 	}
 	p.recovery = Recovery{Slot: p.active, TxID: p.txID}
@@ -445,6 +513,7 @@ func OpenPool(data, meta storage.Device, opts Options) (*Pool, error) {
 		return nil, err
 	}
 	p.allocBM = p.bm.Clone()
+	p.initShards()
 	p.m.Events.Append("open", fmt.Sprintf("pool opened, recovered tx %d from slot %d",
 		p.recovery.TxID, p.recovery.Slot))
 	return p, nil
@@ -497,9 +566,7 @@ func (p *Pool) AllocatedBlocks() uint64 {
 // DummyBlocksWritten returns the cumulative count of dummy-write noise
 // blocks.
 func (p *Pool) DummyBlocksWritten() uint64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.dummyBlocksWritten
+	return p.dummyBlocksWritten.Load()
 }
 
 // TransactionID returns the committed metadata transaction id.
@@ -532,7 +599,13 @@ func (p *Pool) Recovery() Recovery {
 func (p *Pool) PendingAllocations() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return len(p.txAlloc) + len(p.inFlightAlloc)
+	n := len(p.inFlightAlloc)
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.txAlloc)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // CreateThin registers a thin device with the given id and virtual size.
@@ -568,26 +641,35 @@ func (p *Pool) DeleteThin(id int) error {
 	}
 	var relErr error
 	tm.pt.forEach(func(_, pb uint64) bool {
-		relErr = p.releaseLocked(pb)
+		_, relErr = p.release(pb)
 		return relErr == nil
 	})
 	if relErr != nil {
 		return fmt.Errorf("thinp: freeing blocks of thin %d: %w", id, relErr)
 	}
+	// Same-transaction releases may have refilled the allocator's view.
+	p.maybeRecoverSpaceLocked()
 	delete(p.thins, id)
 	delete(p.dirtyThins, id)
+	st := p.stripeOf(id)
+	st.mu.Lock()
+	delete(st.dirty, id)
+	st.mu.Unlock()
 	p.structDirty = true
 	return nil
 }
 
-// Thin returns the block-device view of thin device id.
+// Thin returns the block-device view of thin device id. The handle's
+// shard affinity defaults to the thin id; SetAffinity retargets it.
 func (p *Pool) Thin(id int) (*Thin, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if _, ok := p.thins[id]; !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
-	return &Thin{pool: p, id: id}, nil
+	t := &Thin{pool: p, id: id}
+	t.aff.Store(int64(id))
+	return t, nil
 }
 
 // ThinIDs returns the sorted ids of all thin devices.
@@ -610,6 +692,9 @@ func (p *Pool) MappedBlocks(id int) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
+	st := p.stripeOf(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return tm.pt.count, nil
 }
 
@@ -622,6 +707,9 @@ func (p *Pool) MappedVBlocks(id int) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
+	st := p.stripeOf(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]uint64, 0, tm.pt.count)
 	tm.pt.forEach(func(vb, _ uint64) bool {
 		out = append(out, vb)
@@ -639,10 +727,12 @@ func (p *Pool) MappedVBlocks(id int) ([]uint64, error) {
 //     (no leaked allocations outside any mapping).
 //
 // Tests and the soak suite run this after every interesting transition; a
-// real deployment would expose it as a thin_check-style tool.
+// real deployment would expose it as a thin_check-style tool. The lock is
+// exclusive — fine-grained writers mutate page tables under stripe locks
+// while holding mu shared, and the checker needs a quiescent pool.
 func (p *Pool) CheckIntegrity() error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	owner := make(map[uint64]int, p.bm.Allocated())
 	for id, tm := range p.thins {
 		var vErr error
@@ -683,6 +773,9 @@ func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoSuchThin, id)
 	}
+	st := p.stripeOf(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]uint64, 0, tm.pt.count)
 	tm.pt.forEach(func(_, pb uint64) bool {
 		out = append(out, pb)
@@ -692,113 +785,75 @@ func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
 	return out, nil
 }
 
-// markBMDirty records that the bitmap word covering block pb changed since
-// the last commit. Caller holds p.mu.
-func (p *Pool) markBMDirty(pb uint64) {
-	p.dirtyBM[pb/64] = struct{}{}
-}
-
-// markThinDirty records that thin id's mapping changed since the last
-// commit. Caller holds p.mu.
-func (p *Pool) markThinDirty(id int) {
-	p.dirtyThins[id] = struct{}{}
-}
-
-// allocateLocked picks and marks one free block. The allocator draws from
-// allocBM — the free set minus the quarantine of uncommitted frees — so a
-// block the last durable commit still references is never handed out
-// before the free lands. Caller holds p.mu.
-func (p *Pool) allocateLocked() (uint64, error) {
-	// This is the telemetry choke point for provisioning: real provisions
-	// and dummy-write allocations both land here, so the public count and
-	// latency distribution cannot tell them apart (metrics.go).
-	t0 := time.Now()
-	pb, err := p.opts.Allocator.PickFree(p.allocBM)
+// provisionVB maps a new physical block for (tm, vb) and runs the
+// dummy-write policy, reporting whether THIS call provisioned the block
+// (false when a racing writer already mapped it — the caller must not
+// claim such a block for unwind). Caller holds p.mu in either mode and
+// does NOT hold st; the function takes st for the mapping mutation and
+// releases it before executing a dummy burst, so at most one stripe is
+// ever held (the burst locks the target thin's stripe).
+//
+// Exclusive callers set exclusive so a real provisioning failure for lack
+// of space degrades the pool to OutOfDataSpace in place; shared callers
+// handle the mode transition themselves after dropping the read lock
+// (noteNoSpace) — mode mutation needs mu exclusively.
+func (p *Pool) provisionVB(tm *thinMeta, st *mapStripe, vb uint64, aff int, exclusive bool) (bool, error) {
+	st.mu.Lock()
+	if tm.pt.mapped(vb) {
+		st.mu.Unlock()
+		return false, nil
+	}
+	pb, err := p.allocate(aff)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrNoSpace, err)
-	}
-	if err := p.bm.Set(pb); err != nil {
-		return 0, fmt.Errorf("thinp: marking block %d: %w", pb, err)
-	}
-	if err := p.allocBM.Set(pb); err != nil {
-		return 0, fmt.Errorf("thinp: marking block %d: %w", pb, err)
-	}
-	p.txAlloc[pb] = struct{}{}
-	p.markBMDirty(pb)
-	p.m.Provisions.Inc()
-	p.m.AllocLat.Since(t0)
-	return pb, nil
-}
-
-// releaseLocked frees physical block pb. A block allocated within the
-// current transaction is returned to the allocator immediately — no
-// committed mapping references it — while a block the last commit still
-// maps is quarantined in txFree until the commit recording the free is
-// durable, mirroring dm-thin's rule of never reusing a block a committed
-// mapping can still reach. Caller holds p.mu.
-func (p *Pool) releaseLocked(pb uint64) error {
-	if err := p.bm.Clear(pb); err != nil {
-		return err
-	}
-	if _, thisTx := p.txAlloc[pb]; thisTx {
-		delete(p.txAlloc, pb)
-		if err := p.allocBM.Clear(pb); err != nil {
-			return err
-		}
-		// An allocator-visible block came back: an out-of-data-space pool
-		// recovers to Write and wakes queued writers.
-		p.maybeRecoverSpaceLocked()
-	} else {
-		p.txFree[pb] = struct{}{}
-	}
-	p.markBMDirty(pb)
-	p.m.Releases.Inc()
-	return nil
-}
-
-// provisionLocked maps a new physical block for (thin, vblock) and runs the
-// dummy-write policy. Caller holds p.mu.
-func (p *Pool) provisionLocked(tm *thinMeta, vblock uint64) (uint64, error) {
-	pb, err := p.allocateLocked()
-	if err != nil {
-		if errors.Is(err, ErrNoSpace) {
+		st.mu.Unlock()
+		if exclusive && errors.Is(err, ErrNoSpace) {
 			// Real provisioning failed for lack of space: the pool enters
 			// OutOfDataSpace (dummy-write allocation failures stay silent —
 			// they are best-effort and never reach this path).
 			p.enterNoSpaceLocked()
 		}
-		return 0, err
+		return false, err
 	}
-	tm.mapSet(vblock, pb)
-	tm.noteMapped(vblock)
-	p.markThinDirty(tm.id)
+	tm.mapSet(vb, pb)
+	tm.noteMapped(vb)
+	st.dirty[tm.id] = struct{}{}
+	var target, count int
+	var fire bool
 	if p.opts.Policy != nil {
-		if target, count, fire := p.opts.Policy.OnProvision(tm.id); fire {
-			if err := p.dummyWriteLocked(target, count); err != nil {
-				// Unwind this provision: a block left mapped with its data
-				// never written would read back stale device content
-				// instead of zeros.
-				_ = p.discardLocked(tm, vblock)
-				return 0, fmt.Errorf("thinp: dummy write: %w", err)
-			}
+		target, count, fire = p.opts.Policy.OnProvision(tm.id)
+	}
+	st.mu.Unlock()
+	if fire {
+		if err := p.execDummy(target, count); err != nil {
+			// Unwind this provision: a block left mapped with its data
+			// never written would read back stale device content instead
+			// of zeros.
+			st.mu.Lock()
+			_ = p.discardStripeLocked(tm, st, vb)
+			st.mu.Unlock()
+			return false, fmt.Errorf("thinp: dummy write: %w", err)
 		}
 	}
-	return pb, nil
+	return true, nil
 }
 
-// dummyWriteLocked performs one dummy write: count noise blocks into the
-// target thin device at random unmapped virtual offsets. Noise payloads
-// come from the pre-generated stage when stocked (writers refill it
-// outside the mapping lock via stageNoise); when the stage runs dry
-// mid-burst, one throwaway keystream covers the rest of the burst inline
-// (its key is discarded with the stream when the burst ends), so even the
-// dry path costs one AES key schedule per burst instead of per block.
-// Caller holds p.mu.
-func (p *Pool) dummyWriteLocked(target, count int) error {
+// execDummy performs one dummy write: count noise blocks into the target
+// thin device at random unmapped virtual offsets, under the target thin's
+// stripe lock for the whole burst. Noise payloads come from the
+// pre-generated stage when stocked (writers refill it outside the mapping
+// locks via stageNoise); when the stage runs dry mid-burst, one throwaway
+// keystream covers the rest of the burst inline (its key is discarded with
+// the stream when the burst ends), so even the dry path costs one AES key
+// schedule per burst instead of per block. Caller holds p.mu in either
+// mode and no stripe lock.
+func (p *Pool) execDummy(target, count int) error {
 	tm, ok := p.thins[target]
 	if !ok {
 		return fmt.Errorf("%w: dummy target %d", ErrNoSuchThin, target)
 	}
+	st := p.stripeOf(target)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	var inline []byte
 	var burst *xcrypto.NoiseStream
 	for i := 0; i < count; i++ {
@@ -812,13 +867,16 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 		if !ok {
 			return nil
 		}
-		pb, err := p.allocateLocked()
+		// Affinity is the target thin for the affinity-based strategies;
+		// the random picker ignores it — dummy placement must stay
+		// globally uniform (the deniability property).
+		pb, err := p.allocate(target)
 		if err != nil {
 			return nil // pool filled up mid-write; same best-effort rule
 		}
 		tm.mapSet(vb, pb)
 		tm.noteMapped(vb)
-		p.markThinDirty(tm.id)
+		st.dirty[tm.id] = struct{}{}
 		noise := p.takeStagedNoise()
 		staged := noise != nil
 		if !staged {
@@ -851,10 +909,10 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 			// mapped dummy block holding stale background content instead
 			// of keystream output would be distinguishable from real
 			// dummy data.
-			_ = p.discardLocked(tm, vb)
+			_ = p.discardStripeLocked(tm, st, vb)
 			return fmt.Errorf("thinp: writing noise block %d: %w", pb, err)
 		}
-		p.dummyBlocksWritten++
+		p.dummyBlocksWritten.Add(1)
 	}
 	return nil
 }
@@ -864,11 +922,15 @@ func (p *Pool) dummyWriteLocked(target, count int) error {
 // hitting mapped blocks, it draws one rank over the unmapped population and
 // selects it through the page table's occupancy counts — O(log leaves), so
 // late dummy writes on large, nearly-full volumes cost the same as early
-// ones instead of degrading toward a full scan.
+// ones instead of degrading toward a full scan. Caller holds tm's stripe
+// lock (the page table is stable); dummyMu serializes the source draws
+// across concurrent bursts.
 func (p *Pool) randomUnmappedVBlock(tm *thinMeta) (uint64, bool) {
 	if tm.pt.count >= tm.virtBlocks {
 		return 0, false
 	}
+	p.dummyMu.Lock()
+	defer p.dummyMu.Unlock()
 	for i := 0; i < 64; i++ {
 		vb := p.opts.DummySrc.Uint64n(tm.virtBlocks)
 		if !tm.pt.mapped(vb) {
@@ -878,17 +940,37 @@ func (p *Pool) randomUnmappedVBlock(tm *thinMeta) (uint64, bool) {
 	return tm.pt.selectUnmapped(p.opts.DummySrc.Uint64n(tm.virtBlocks - tm.pt.count))
 }
 
-// discardLocked unmaps (thin, vblock) and frees its physical block.
-func (p *Pool) discardLocked(tm *thinMeta, vblock uint64) error {
+// discardStripeLocked unmaps (tm, vblock) and frees its physical block.
+// Caller holds tm's stripe lock (plus p.mu in either mode). Space recovery
+// is the caller's responsibility: exclusive contexts run
+// maybeRecoverSpaceLocked after their batch, shared contexts poke
+// maybeRecoverSpace after dropping the read lock.
+func (p *Pool) discardStripeLocked(tm *thinMeta, st *mapStripe, vblock uint64) error {
 	pb, ok := tm.pt.get(vblock)
 	if !ok {
 		return nil // discard of an unprovisioned block is a no-op
 	}
 	tm.mapDelete(vblock)
 	tm.noteUnmapped(vblock)
-	if err := p.releaseLocked(pb); err != nil {
+	if _, err := p.release(pb); err != nil {
 		return fmt.Errorf("thinp: freeing block %d: %w", pb, err)
 	}
-	p.markThinDirty(tm.id)
+	st.dirty[tm.id] = struct{}{}
 	return nil
+}
+
+// discardLocked unmaps (thin, vblock) and frees its physical block,
+// running space recovery. Caller holds p.mu exclusively.
+func (p *Pool) discardLocked(tm *thinMeta, vblock uint64) error {
+	st := p.stripeOf(tm.id)
+	st.mu.Lock()
+	err := p.discardStripeLocked(tm, st, vblock)
+	st.mu.Unlock()
+	if err == nil {
+		// An allocator-visible block may have come back: an
+		// out-of-data-space pool recovers to Write and wakes queued
+		// writers.
+		p.maybeRecoverSpaceLocked()
+	}
+	return err
 }

@@ -190,6 +190,9 @@ func verifyCommittedState(t *testing.T, label string, data, meta storage.Device,
 	if err := p.CheckIntegrity(); err != nil {
 		t.Fatalf("%s: reopened pool integrity: %v", label, err)
 	}
+	if err := p.CheckConsistency(); err != nil {
+		t.Fatalf("%s: reopened pool shard consistency: %v", label, err)
+	}
 	var actual sweepModel // nil: thin absent
 	thin, err := p.Thin(1)
 	switch {
@@ -355,6 +358,9 @@ func TestFaultSweepDataDevice(t *testing.T) {
 			}
 			if err := r.pool.CheckIntegrity(); err != nil {
 				t.Fatalf("%s: integrity after fault: %v", label, err)
+			}
+			if err := r.pool.CheckConsistency(); err != nil {
+				t.Fatalf("%s: shard consistency after fault: %v", label, err)
 			}
 			// The pool is still fully writable after the fault: the failed
 			// request unwound cleanly.

@@ -3,6 +3,7 @@ package thinp
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"mobiceal/internal/storage"
 )
@@ -10,11 +11,28 @@ import (
 // Thin is the block-device view of one thin volume. Reads of unprovisioned
 // blocks return zeros; the first write to a block provisions physical space
 // through the pool allocator (and, under MobiCeal's policy, may trigger a
-// dummy write). Thin is safe for concurrent use; it shares the pool's lock.
+// dummy write). Thin is safe for concurrent use; it shares the pool's
+// shared lock plus its own mapping stripe, so writers to different thins
+// contend neither on metadata resolution nor on allocation (each affinity
+// homes on its own shard).
 type Thin struct {
 	pool *Pool
 	id   int
+	// aff is the allocation-shard affinity hint handed to the pool on
+	// every provisioning allocation. It defaults to the thin id; the I/O
+	// stack overrides it with the submission-queue index so writers
+	// draining distinct queues home on distinct shards. Atomic because the
+	// stack learns the queue index lazily, at first submission, when the
+	// handle may already be shared. The random allocator ignores the hint —
+	// placement must stay globally uniform.
+	aff atomic.Int64
 }
+
+// SetAffinity sets the allocation-shard affinity hint.
+func (t *Thin) SetAffinity(aff int) { t.aff.Store(int64(aff)) }
+
+// Affinity returns the allocation-shard affinity hint.
+func (t *Thin) Affinity() int { return int(t.aff.Load()) }
 
 var (
 	_ storage.RangeDevice = (*Thin)(nil)
@@ -149,16 +167,17 @@ func (t *Thin) checkVecLocked(start uint64, v storage.BlockVec) (*thinMeta, uint
 	return tm, n, nil
 }
 
-// ReadBlocksVec implements storage.VecDevice. The pool's shared lock is
-// taken once for the whole vec and held across the data-device reads: the
-// mapping resolution and the transfers it authorizes are atomic against
-// discard/commit, so a physical block can never be freed, committed away
-// and reallocated to another thin while a read of it is in flight.
-// Concurrent readers — of this thin or any other — share the lock and
-// never contend. Physically contiguous extent runs map to sub-vectors of
-// the caller's own segments (Slice shares memory, no bytes move) and go
-// down as single scatter-gather data-device reads; holes zero-fill the
-// destination segments directly.
+// ReadBlocksVec implements storage.VecDevice. The pool's shared lock plus
+// this thin's stripe (shared) are taken once for the whole vec and held
+// across the data-device reads: the mapping resolution and the transfers it
+// authorizes are atomic against discard/commit, so a physical block can
+// never be freed, committed away and reallocated to another thin while a
+// read of it is in flight. Concurrent readers — of this thin or any other —
+// take both locks shared and never contend; fine-grained writers to OTHER
+// stripes proceed in parallel. Physically contiguous extent runs map to
+// sub-vectors of the caller's own segments (Slice shares memory, no bytes
+// move) and go down as single scatter-gather data-device reads; holes
+// zero-fill the destination segments directly.
 func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 	var extArr [16]extent
 	t.pool.mu.RLock()
@@ -173,6 +192,8 @@ func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 		t.pool.mu.RUnlock()
 		return err
 	}
+	st := t.pool.stripeOf(t.id)
+	st.mu.RLock()
 	exts := extArr[:0]
 	// The page table resolves the whole range with one sequential leaf
 	// walk instead of n independent lookups.
@@ -192,11 +213,13 @@ func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 			err = storage.ReadBlocksVec(t.pool.data, e.phys, sub)
 		}
 		if err != nil {
+			st.mu.RUnlock()
 			t.pool.mu.RUnlock()
 			return err
 		}
 		off += e.count
 	}
+	st.mu.RUnlock()
 	t.pool.mu.RUnlock()
 
 	if meter != nil {
@@ -215,18 +238,18 @@ func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 // but the fallback bounds the loop regardless.
 const writeAttempts = 4
 
-// WriteBlocksVec implements storage.VecDevice. A vec whose blocks are all
-// provisioned resolves and writes under the pool's shared lock —
-// concurrent overwriters never contend, and holding the lock across the
+// WriteBlocksVec implements storage.VecDevice. The common paths — pure
+// overwrites AND writes that provision — run under the pool's SHARED lock:
+// mapping mutation is serialized by the thin's stripe lock and allocation
+// by the per-shard locks, so concurrent writers to different thins proceed
+// fully in parallel, provisioning included. Holding pool+stripe across the
 // transfer means a concurrent discard+commit can never free a block and
-// hand it to another thin while this request's data is in flight. When
-// blocks must be provisioned, the holes are provisioned in one batch
-// under the exclusive lock — the dummy-write policy is still consulted
-// per provisioned block, preserving the paper's Sec. IV-B trigger
-// semantics — and the request then retries the shared-lock pass (the
-// re-resolve sees the current mapping, including blocks a racing writer
-// provisioned first). After writeAttempts races the request completes
-// under the exclusive lock outright.
+// hand it to another thin while this request's data is in flight. The
+// dummy-write policy is still consulted per provisioned block, preserving
+// the paper's Sec. IV-B trigger semantics. A pass that provisioned holes
+// retries the resolve (the re-resolve sees the current mapping, including
+// blocks a racing writer provisioned first); after writeAttempts races the
+// request completes under the exclusive lock outright.
 //
 // Extent runs map to sub-vectors of the caller's own segments; the data
 // device sees the caller's buffers directly — the thin layer moves no
@@ -238,7 +261,10 @@ const writeAttempts = 4
 const maxSpaceWaits = 4
 
 func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	t.pool.mutators.Add(1)
+	defer t.pool.mutators.Add(-1)
 	var extArr [16]extent
+	var holeArr [16]uint64
 	var fresh []uint64 // vblocks provisioned by this request, data not yet landed
 	spaceWaits := 0
 	for attempt := 0; ; attempt++ {
@@ -263,51 +289,70 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 			t.unwindFresh(fresh, start) // nothing landed
 			return err
 		}
+		st := t.pool.stripeOf(t.id)
 		exts := extArr[:0]
-		hole := false
-		tm.pt.walkRange(start, n, func(_ uint64, pb uint64, mapped bool) {
+		holes := holeArr[:0]
+		st.mu.RLock()
+		tm.pt.walkRange(start, n, func(off uint64, pb uint64, mapped bool) {
 			if !mapped {
-				hole = true
+				holes = append(holes, start+off)
 				return
 			}
 			exts = appendRun(exts, pb, false)
 		})
-		if hole {
+		if len(holes) > 0 {
+			// Provisioning takes the stripe exclusively per hole; release
+			// the shared hold first (RWMutex is not upgradable).
+			st.mu.RUnlock()
 			if exclusive {
 				// Guaranteed-progress path: provision and re-resolve
 				// under the same exclusive acquisition.
-				if err := t.provisionHolesLocked(tm, start, n, &fresh); err != nil {
-					unlock()
-					if errors.Is(err, ErrNoSpace) && spaceWaits < maxSpaceWaits &&
-						t.pool.waitForSpace() {
-						// provisionHolesLocked discarded every fresh
+				err = t.provisionHolesLocked(tm, st, holes, &fresh)
+			} else {
+				// Stage dummy-write noise first: the stage is a leaf lock,
+				// safe under the shared pool lock, and keeps keystream
+				// generation out of the stripe critical section.
+				t.pool.stageNoise()
+				err = t.provisionHolesShared(tm, st, holes, &fresh)
+			}
+			if err != nil {
+				unlock()
+				if errors.Is(err, ErrNoSpace) {
+					if !exclusive {
+						// A read-locked writer cannot move the mode ladder
+						// in place; record the exhaustion (and the recovery
+						// its own unwind may have produced) now.
+						t.pool.noteNoSpace()
+					}
+					if spaceWaits < maxSpaceWaits && t.pool.waitForSpace() {
+						// The provision pass discarded every fresh
 						// provision before failing; reclaim arrived, retry.
 						spaceWaits++
 						fresh = fresh[:0]
 						continue
 					}
-					return err
+				} else if !exclusive {
+					// The unwind freed blocks under the shared lock; poke
+					// recovery in case the pool sat out of space.
+					t.pool.maybeRecoverSpace()
 				}
-				exts = exts[:0]
-				tm.pt.walkRange(start, n, func(_ uint64, pb uint64, _ bool) {
-					exts = appendRun(exts, pb, false)
-				})
-			} else {
+				return err
+			}
+			if !exclusive {
+				// Re-resolve under a fresh shared pass: the next walk sees
+				// this pass's provisions plus any racing writer's.
 				unlock()
-				if err := t.provisionHoles(start, n, &fresh); err != nil {
-					if errors.Is(err, ErrNoSpace) && spaceWaits < maxSpaceWaits &&
-						t.pool.waitForSpace() {
-						spaceWaits++
-						fresh = fresh[:0]
-						continue
-					}
-					return err
-				}
 				continue
 			}
+			exts = exts[:0]
+			st.mu.RLock()
+			tm.pt.walkRange(start, n, func(_ uint64, pb uint64, _ bool) {
+				exts = appendRun(exts, pb, false)
+			})
 		}
 		meter := t.pool.opts.Meter
 		done, werr := t.writeExtentsLocked(v, exts)
+		st.mu.RUnlock()
 		unlock()
 		if werr != nil {
 			// Discard this request's provisions whose data never landed:
@@ -328,39 +373,158 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 	}
 }
 
-// provisionHoles provisions, under one exclusive-lock acquisition, every
-// currently unmapped block of the range, appending the provisioned
-// vblocks to *fresh. Dummy-write noise is staged before the lock is
-// taken, so MobiCeal-policy pools do not hold the writer critical
-// section during keystream generation.
-func (t *Thin) provisionHoles(start, n uint64, fresh *[]uint64) error {
-	t.pool.stageNoise()
-	t.pool.mu.Lock()
-	defer t.pool.mu.Unlock()
-	tm, err := t.checkRangeLocked(start, n)
-	if err != nil {
-		return err
+// ReplaceBlock rewrites vblock idx through a fresh provision: the old
+// mapping (if any) is discarded and a new physical block allocated — under
+// the random allocator a uniformly-random free location — before the
+// payload lands there. This is the paper's reallocate-on-write discipline
+// (Sec. IV-B): an overwrite that stayed in place would pin a stable
+// physical address to a hot virtual block across snapshots, and update
+// patterns would leak to a multiple-snapshot adversary. WriteBlock keeps
+// plain overwrite-in-place semantics for callers that want them;
+// ReplaceBlock is the deniability-preserving rewrite.
+//
+// The discard and the re-provision run under ONE shared pool-lock
+// acquisition, so no commit can land between them: a commit-per-write
+// ReplaceBlock loop always presents the commit fold with pure in-place
+// deltas (equal adds and removes at unchanged entry positions), which is
+// what keeps the group-commit leader's exclusive lock hold O(delta).
+//
+// Failure atomicity is write-like, not transactional: once the old
+// placement is surrendered, an allocation or transfer failure leaves the
+// vblock unmapped (reading zeros) rather than restoring the old data.
+func (t *Thin) ReplaceBlock(idx uint64, src []byte) error {
+	p := t.pool
+	if len(src) != p.data.BlockSize() {
+		return storage.ErrBadBuffer
 	}
-	return t.provisionHolesLocked(tm, start, n, fresh)
+	p.mutators.Add(1)
+	defer p.mutators.Add(-1)
+	var freshArr [1]uint64
+	var fresh []uint64 // this request's provision, data not yet landed
+	spaceWaits := 0
+	for attempt := 0; ; attempt++ {
+		exclusive := attempt >= writeAttempts
+		lock, unlock := p.mu.RLock, p.mu.RUnlock
+		if exclusive {
+			lock, unlock = p.mu.Lock, p.mu.Unlock
+			p.stageNoise()
+		}
+		lock()
+		if err := p.checkMutableLocked(); err != nil {
+			unlock()
+			t.unwindFresh(fresh, idx)
+			return err
+		}
+		tm, err := t.checkRangeLocked(idx, 1)
+		if err != nil {
+			unlock()
+			t.unwindFresh(fresh, idx)
+			return err
+		}
+		st := t.pool.stripeOf(t.id)
+		st.mu.Lock()
+		err = p.discardStripeLocked(tm, st, idx)
+		st.mu.Unlock()
+		if err != nil {
+			unlock()
+			return err
+		}
+		holes := freshArr[:1]
+		holes[0] = idx
+		fresh = fresh[:0]
+		if exclusive {
+			err = t.provisionHolesLocked(tm, st, holes, &fresh)
+		} else {
+			t.pool.stageNoise()
+			err = t.provisionHolesShared(tm, st, holes, &fresh)
+		}
+		if err != nil {
+			unlock()
+			if errors.Is(err, ErrNoSpace) {
+				if !exclusive {
+					t.pool.noteNoSpace()
+				}
+				if spaceWaits < maxSpaceWaits && t.pool.waitForSpace() {
+					spaceWaits++
+					fresh = fresh[:0]
+					continue
+				}
+			} else if !exclusive {
+				t.pool.maybeRecoverSpace()
+			}
+			return err
+		}
+		st.mu.RLock()
+		pb, ok := tm.pt.get(idx)
+		if !ok {
+			// A racing discard unmapped the block between our provision and
+			// the transfer — undefined-content territory for the racing
+			// caller, but retry for guaranteed progress like the vec write.
+			st.mu.RUnlock()
+			unlock()
+			continue
+		}
+		meter := p.opts.Meter
+		werr := p.data.WriteBlock(pb, src)
+		st.mu.RUnlock()
+		unlock()
+		if werr != nil {
+			t.unwindFresh(fresh, idx)
+			return werr
+		}
+		if meter != nil {
+			meter.ChargeTraversalWrite()
+		}
+		return nil
+	}
 }
 
-// provisionHolesLocked provisions every currently unmapped block of
-// [start, start+n), appending the provisioned vblocks to *fresh. On
-// failure every vblock in *fresh — this pass and earlier ones — is
-// discarded: none of this request's data has been written yet, and a
-// mapped block whose data was never written would read back device
-// garbage instead of zeros. (Dummy writes already performed stay — they
-// are real, durable noise.) Caller holds the pool lock exclusively.
-func (t *Thin) provisionHolesLocked(tm *thinMeta, start, n uint64, fresh *[]uint64) error {
-	for i := uint64(0); i < n; i++ {
-		if _, mapped := tm.pt.get(start + i); !mapped {
-			if _, err := t.pool.provisionLocked(tm, start+i); err != nil {
-				for _, vb := range *fresh {
-					_ = t.pool.discardLocked(tm, vb)
-				}
-				return err
+// provisionHolesShared provisions the listed unmapped vblocks under the
+// pool's SHARED lock — mapping mutation rides the stripe lock, allocation
+// the shard locks — appending the vblocks THIS request provisioned to
+// *fresh (holes a racing writer mapped first are skipped and stay theirs).
+// On failure every vblock in *fresh is discarded: none of this request's
+// data has been written yet, and a mapped block whose data was never
+// written would read back device garbage instead of zeros. (Dummy writes
+// already performed stay — they are real, durable noise.) Caller holds the
+// pool lock shared and no stripe lock; mode-ladder consequences (ErrNoSpace,
+// recovery) are the caller's to apply after dropping the read lock.
+func (t *Thin) provisionHolesShared(tm *thinMeta, st *mapStripe, holes []uint64, fresh *[]uint64) error {
+	for _, vb := range holes {
+		provisioned, err := t.pool.provisionVB(tm, st, vb, int(t.aff.Load()), false)
+		if err != nil {
+			st.mu.Lock()
+			for _, f := range *fresh {
+				_ = t.pool.discardStripeLocked(tm, st, f)
 			}
-			*fresh = append(*fresh, start+i)
+			st.mu.Unlock()
+			return err
+		}
+		if provisioned {
+			*fresh = append(*fresh, vb)
+		}
+	}
+	return nil
+}
+
+// provisionHolesLocked is the exclusive-lock twin of provisionHolesShared:
+// same contract, but the caller holds the pool lock exclusively, so mode
+// transitions (OutOfDataSpace entry, recovery after an unwind) happen in
+// place.
+func (t *Thin) provisionHolesLocked(tm *thinMeta, st *mapStripe, holes []uint64, fresh *[]uint64) error {
+	for _, vb := range holes {
+		provisioned, err := t.pool.provisionVB(tm, st, vb, int(t.aff.Load()), true)
+		if err != nil {
+			st.mu.Lock()
+			for _, f := range *fresh {
+				_ = t.pool.discardStripeLocked(tm, st, f)
+			}
+			st.mu.Unlock()
+			t.pool.maybeRecoverSpaceLocked()
+			return err
+		}
+		if provisioned {
+			*fresh = append(*fresh, vb)
 		}
 	}
 	return nil
@@ -416,26 +580,53 @@ func (t *Thin) Discard(idx uint64) error {
 // DiscardRange unmaps the count virtual blocks starting at start, freeing
 // their physical blocks — the vectored TRIM the garbage collector issues
 // when it reclaims a run of dummy space. The whole range is processed under
-// one pool-lock acquisition, the same economics the read/write range ops
-// get from bio merging. Unprovisioned blocks in the range are no-ops.
+// one stripe-lock acquisition, the same economics the read/write range ops
+// get from bio merging — and like them it runs on the fine-grained path
+// (pool read lock + the thin's stripe lock + shard locks for the frees), so
+// discards on one thin never stall writers of other stripes, and the
+// canonical discard-then-rewrite cycle stays parallel end to end.
+// Unprovisioned blocks in the range are no-ops.
 func (t *Thin) DiscardRange(start, count uint64) error {
-	t.pool.mu.Lock()
-	defer t.pool.mu.Unlock()
-	if err := t.pool.checkMutableLocked(); err != nil {
+	p := t.pool
+	p.mutators.Add(1)
+	defer p.mutators.Add(-1)
+	p.mu.RLock()
+	if err := p.checkMutableLocked(); err != nil {
+		p.mu.RUnlock()
 		return err
 	}
-	tm, ok := t.pool.thins[t.id]
+	tm, ok := p.thins[t.id]
 	if !ok {
+		p.mu.RUnlock()
 		return fmt.Errorf("%w: id %d", ErrNoSuchThin, t.id)
 	}
 	if count > 0 && (start >= tm.virtBlocks || count > tm.virtBlocks-start) {
+		p.mu.RUnlock()
 		return fmt.Errorf("%w: vblocks [%d, %d) of %d",
 			storage.ErrOutOfRange, start, start+count, tm.virtBlocks)
 	}
+	st := p.stripeOf(t.id)
+	st.mu.Lock()
+	mapped0 := tm.pt.count
+	var derr error
 	for i := uint64(0); i < count; i++ {
-		if err := t.pool.discardLocked(tm, start+i); err != nil {
-			return err
+		if derr = p.discardStripeLocked(tm, st, start+i); derr != nil {
+			break
 		}
+	}
+	freed := mapped0 - tm.pt.count
+	outOfSpace := p.mode == PoolOutOfDataSpace
+	st.mu.Unlock()
+	p.mu.RUnlock()
+	if derr != nil {
+		return derr
+	}
+	if freed > 0 && outOfSpace {
+		// Same-transaction frees came straight back to the allocator's
+		// view; an out-of-data-space pool may now recover to Write and wake
+		// queued writers. (Quarantined frees return at commit, which runs
+		// its own recovery.)
+		p.maybeRecoverSpace()
 	}
 	return nil
 }
