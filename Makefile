@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 mutexprofile fault-soak
+.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 mutexprofile fault-soak
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -45,6 +45,12 @@ bench-pr7:
 # pre-PR A/B pair (see BENCH_PR8.json).
 bench-pr8:
 	./cmd/experiments/bench_pr8.sh
+
+# Flight-recorder benchmark set: disabled/enabled Record floors plus the
+# hot-write-path A/B drift guard. Set BASELINE=<rev> (PR 9 baseline:
+# 0fa7cb8) to also run the pre-PR pair (see BENCH_PR9.json).
+bench-pr9:
+	./cmd/experiments/bench_pr9.sh
 
 # Contention triage: the writer-scaling sweep with mutex profiling; the
 # profile lands in /tmp/mutex.out for `go tool pprof`.

@@ -8,7 +8,8 @@
 # The set prices what the PR 7 observability subsystem costs. The obs
 # primitives are the per-event floor (one atomic add for a counter, a
 # bits.Len bucket index plus three atomics for a histogram observe, one
-# atomic load for a disabled tracer). BenchmarkDeviceWriteOverhead prices
+# atomic load for a disabled flight recorder — the PR 9 successor of the
+# span tracer this set originally priced). BenchmarkDeviceWriteOverhead prices
 # the StatsDevice wrap against a raw RAM-speed device — the worst case,
 # since nothing amortizes the two clock reads. BenchmarkTelemetrySnapshot
 # is the scraper's cost per full Telemetry() snapshot.
@@ -21,7 +22,7 @@ cd "$(dirname "$0")/../.."
 BENCHTIME="${BENCHTIME:-20000x}"
 
 {
-	go test -run XXX -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkTracerDisabled' -benchtime "$BENCHTIME" ./internal/obs/
+	go test -run XXX -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkFlightRecorderDisabled' -benchtime "$BENCHTIME" ./internal/obs/
 	go test -run XXX -bench 'BenchmarkDeviceWriteOverhead' -benchtime "$BENCHTIME" ./internal/storage/
 	go test -run XXX -bench 'BenchmarkThinWriteRandomAlloc' -benchtime "$BENCHTIME" ./internal/thinp/
 	go test -run XXX -bench 'BenchmarkTelemetrySnapshot' -benchtime "$BENCHTIME" .

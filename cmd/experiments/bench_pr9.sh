@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench_pr9.sh — price the PR 9 flight recorder on the hot write path and
+# emit the results as JSON on stdout (the format committed in
+# BENCH_PR9.json).
+#
+#   ./cmd/experiments/bench_pr9.sh > /tmp/bench.json
+#   BENCHTIME=2000x ./cmd/experiments/bench_pr9.sh     # quicker smoke run
+#   BASELINE=0fa7cb8 ./cmd/experiments/bench_pr9.sh    # also run the A/B
+#
+# The tentpole claim is that threading flight ids through ioq → thinp →
+# storage costs the disabled path nothing measurable: one atomic load per
+# choke point, zero allocations. Three prices pin it:
+#
+#   - BenchmarkFlightRecorderDisabled / Nil: the per-Record floor when
+#     recording is off (~1 ns, 0 allocs) or the recorder is absent.
+#   - BenchmarkFlightRecorderRecord(/Parallel): the enabled cost — one
+#     atomic ticket plus six atomic stores, lock-free across shards.
+#   - BenchmarkThinWriteSequentialAlloc / RandomAlloc: the end-to-end
+#     drift guard. With BASELINE set to a pre-PR rev (PR 9's baseline is
+#     0fa7cb8, the sharded-pool merge) the same two benchmarks run in a
+#     detached worktree of that rev — both trees carry them natively, no
+#     file copying — and the A/B pair must agree within run noise.
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-20000x}"
+
+if [ -n "$BASELINE" ]; then
+	WT=$(mktemp -d /tmp/bench-pr9-base.XXXXXX)
+	trap 'git worktree remove --force "$WT" 2>/dev/null || true; rm -rf "$WT"' EXIT
+	git worktree add --detach "$WT" "$BASELINE" >&2
+	(cd "$WT" && go test -run XXX \
+		-bench 'BenchmarkThinWriteSequentialAlloc|BenchmarkThinWriteRandomAlloc' \
+		-benchtime "$BENCHTIME" ./internal/thinp/) | go run ./cmd/experiments/benchjson
+fi
+
+{
+	go test -run XXX -bench 'BenchmarkFlightRecorder' -benchtime "$BENCHTIME" ./internal/obs/
+	go test -run XXX \
+		-bench 'BenchmarkThinWriteSequentialAlloc|BenchmarkThinWriteRandomAlloc' \
+		-benchtime "$BENCHTIME" ./internal/thinp/
+} | go run ./cmd/experiments/benchjson

@@ -13,6 +13,8 @@
 //	mobiceal snap  -image disk.img -to snap-1.img
 //	mobiceal check -image disk.img [-pass PW]
 //	mobiceal status -image disk.img [-json] [-events]
+//	mobiceal trace -image disk.img -pass PW [-ops N] [-json] [-jsonl out.jsonl]
+//	mobiceal trace -from host:port | -replay events.jsonl [-json]
 //
 // put/get/ls/rm try the password as the decoy first, then as a hidden
 // password, so one command surface serves both modes — just like the boot
@@ -57,7 +59,7 @@ func run(args []string) error {
 	}
 	args = globals.Args()
 	if len(args) < 1 {
-		return errors.New("usage: mobiceal [-debug-addr ADDR] <init|put|get|ls|rm|gc|snap|check|status> [flags]")
+		return errors.New("usage: mobiceal [-debug-addr ADDR] <init|put|get|ls|rm|gc|snap|check|status|trace> [flags]")
 	}
 	if *debugAddr != "" {
 		if err := startDebugServer(*debugAddr); err != nil {
@@ -83,6 +85,8 @@ func run(args []string) error {
 		return cmdCheck(args[1:])
 	case "status":
 		return cmdStatus(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -36,9 +36,10 @@ func debugAddrForTest() string {
 	return ""
 }
 
-// startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/)
-// on addr for the lifetime of the process. The telemetry variable renders
-// the current system's snapshot on every scrape — memory-only, like the
+// startDebugServer serves expvar (/debug/vars), pprof (/debug/pprof/),
+// Prometheus text exposition (/metrics) and the flight recorder
+// (/debug/flight) on addr for the lifetime of the process. Every surface
+// renders the current system's state on scrape — memory-only, like the
 // telemetry itself; nothing the server shows survives the process.
 func startDebugServer(addr string) error {
 	ln, err := net.Listen("tcp", addr)
@@ -53,11 +54,50 @@ func startDebugServer(addr string) error {
 			}
 			return sys.Telemetry()
 		}))
+		http.HandleFunc("/metrics", serveMetrics)
+		http.HandleFunc("/debug/flight", serveFlight)
 	})
 	debugListenAddr.Store(ln.Addr().String())
-	fmt.Fprintf(os.Stderr, "debug: expvar and pprof on http://%s/debug/\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "debug: expvar, pprof, /metrics and /debug/flight on http://%s/\n", ln.Addr())
 	go func() { _ = http.Serve(ln, nil) }()
 	return nil
+}
+
+// serveMetrics renders the telemetry snapshot in Prometheus text
+// exposition format (stdlib-rendered; see core's WritePrometheus).
+func serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	sys := debugSys.Load()
+	if sys == nil {
+		http.Error(w, "no system open", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = mobiceal.WritePrometheus(w, sys.Telemetry())
+}
+
+// serveFlight controls and drains the flight recorder. GET with no query
+// streams the current event window as JSONL (the `mobiceal trace -from`
+// scrape format); ?ctl=on|off|reset toggles recording or clears the ring.
+func serveFlight(w http.ResponseWriter, r *http.Request) {
+	sys := debugSys.Load()
+	if sys == nil {
+		http.Error(w, "no system open", http.StatusServiceUnavailable)
+		return
+	}
+	fr := sys.FlightRecorder()
+	switch ctl := r.URL.Query().Get("ctl"); ctl {
+	case "":
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = fr.WriteJSONL(w)
+	case "on", "off":
+		fr.SetEnabled(ctl == "on")
+		fmt.Fprintln(w, ctl)
+	case "reset":
+		fr.Reset()
+		fmt.Fprintln(w, "reset")
+	default:
+		http.Error(w, "unknown ctl (want on|off|reset)", http.StatusBadRequest)
+	}
 }
 
 // cmdStatus prints the system's health and telemetry snapshot: the dm-thin

@@ -29,6 +29,7 @@ func (s *System) Scheduler() *ioq.Scheduler {
 		s.sched = ioq.NewScheduler(ioq.Options{
 			Workers: s.cfg.AsyncWorkers,
 			Retry:   s.cfg.Retry,
+			Flight:  s.flight,
 		})
 	})
 	return s.sched

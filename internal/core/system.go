@@ -9,6 +9,7 @@ import (
 
 	"mobiceal/internal/dm"
 	"mobiceal/internal/ioq"
+	"mobiceal/internal/obs"
 	"mobiceal/internal/prng"
 	"mobiceal/internal/storage"
 	"mobiceal/internal/thinp"
@@ -141,6 +142,14 @@ type System struct {
 	// attributing it (telemetry.go).
 	dataStats *storage.StatsDevice
 	metaStats *storage.StatsDevice
+
+	// flight is the request-lifecycle flight recorder: a bounded,
+	// memory-only ring of causal events the ioq/thinp/storage layers
+	// record into when enabled. Off by default; disabled cost is one
+	// atomic load per choke point. Deniability-safe by the same argument
+	// as the rest of the telemetry surface — every stage hook sits on a
+	// choke point real and dummy traffic traverse identically.
+	flight *obs.FlightRecorder
 
 	metaBlocks uint64
 	dataBlocks uint64
@@ -338,6 +347,12 @@ func (s *System) buildPool(create bool) error {
 	// metrics are untouched by instrumentation.
 	s.metaStats = storage.NewStatsDevice(metaDev)
 	s.dataStats = storage.NewStatsDevice(dataDev)
+	// The flight recorder sits across the whole stack: ioq records
+	// queue/dispatch/complete, thinp records map/provision/commit stages,
+	// and the data-region stats wrap records the leaf device op. Created
+	// disabled; `mobiceal trace` or FlightRecorder().Enable() turns it on.
+	s.flight = obs.NewFlightRecorder(obs.DefaultFlightEvents)
+	s.dataStats.SetFlightRecorder(s.flight)
 	var meta storage.Device = s.metaStats
 	var data storage.Device = s.dataStats
 	if s.cfg.Meter != nil {
@@ -367,6 +382,7 @@ func (s *System) buildPool(create bool) error {
 		DummySrc:       prng.NewSource(src.Uint64()),
 		Meter:          s.cfg.Meter,
 		NoSpaceTimeout: s.cfg.NoSpaceTimeout,
+		Flight:         s.flight,
 	}
 	if create {
 		s.pool, err = thinp.CreatePool(data, meta, opts)
@@ -382,6 +398,11 @@ func (s *System) buildPool(create bool) error {
 // Pool exposes the underlying thin pool (read-mostly: experiments and the
 // Android layer inspect allocation state through it).
 func (s *System) Pool() *thinp.Pool { return s.pool }
+
+// FlightRecorder returns the system's request-lifecycle flight recorder.
+// It is created disabled; call Enable on it (or use `mobiceal trace`) to
+// start recording. Never nil on a built system.
+func (s *System) FlightRecorder() *obs.FlightRecorder { return s.flight }
 
 // Footer returns the crypto footer.
 func (s *System) Footer() *xcrypto.Footer { return s.footer }

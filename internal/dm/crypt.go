@@ -23,8 +23,12 @@ type Crypt struct {
 }
 
 var (
-	_ storage.RangeDevice = (*Crypt)(nil)
-	_ storage.VecDevice   = (*Crypt)(nil)
+	_ storage.RangeDevice       = (*Crypt)(nil)
+	_ storage.VecDevice         = (*Crypt)(nil)
+	_ storage.FlightRangeDevice = (*Crypt)(nil)
+	_ storage.FlightVecDevice   = (*Crypt)(nil)
+	_ storage.FlightDiscarder   = (*Crypt)(nil)
+	_ storage.FlightSyncer      = (*Crypt)(nil)
 )
 
 // NewCrypt layers cipher over inner. meter may be nil; when set, crypto
@@ -78,11 +82,20 @@ func (c *Crypt) WriteBlock(idx uint64, src []byte) error {
 // per-block so the paper-calibrated testbed numbers are unchanged by
 // vectoring; only the real CPU cost drops.
 func (c *Crypt) ReadBlocks(start uint64, dst []byte) error {
+	return c.readBlocksF(0, start, dst)
+}
+
+// ReadBlocksFlight implements storage.FlightRangeDevice.
+func (c *Crypt) ReadBlocksFlight(fid, start uint64, dst []byte) error {
+	return c.readBlocksF(fid, start, dst)
+}
+
+func (c *Crypt) readBlocksF(fid, start uint64, dst []byte) error {
 	bs := c.inner.BlockSize()
 	if len(dst)%bs != 0 {
 		return storage.ErrBadBuffer
 	}
-	if err := storage.ReadBlocks(c.inner, start, dst); err != nil {
+	if err := storage.ReadBlocksFlight(c.inner, fid, start, dst); err != nil {
 		return err
 	}
 	n := len(dst) / bs
@@ -105,6 +118,15 @@ func (c *Crypt) ReadBlocks(start uint64, dst []byte) error {
 // one reusable scratch buffer, then one vectored ciphertext write. The
 // caller's buffer is never modified.
 func (c *Crypt) WriteBlocks(start uint64, src []byte) error {
+	return c.writeBlocksF(0, start, src)
+}
+
+// WriteBlocksFlight implements storage.FlightRangeDevice.
+func (c *Crypt) WriteBlocksFlight(fid, start uint64, src []byte) error {
+	return c.writeBlocksF(fid, start, src)
+}
+
+func (c *Crypt) writeBlocksF(fid, start uint64, src []byte) error {
 	bs := c.inner.BlockSize()
 	if len(src)%bs != 0 {
 		return storage.ErrBadBuffer
@@ -117,7 +139,7 @@ func (c *Crypt) WriteBlocks(start uint64, src []byte) error {
 			return fmt.Errorf("dm: encrypting block %d: %w", idx, err)
 		}
 	}
-	if err := storage.WriteBlocks(c.inner, start, ct); err != nil {
+	if err := storage.WriteBlocksFlight(c.inner, fid, start, ct); err != nil {
 		return err
 	}
 	if c.meter != nil {
@@ -134,11 +156,20 @@ func (c *Crypt) WriteBlocks(start uint64, src []byte) error {
 // decryption in place — no intermediate buffer at all on the read path.
 // Virtual-clock charges stay per-block, as on every path.
 func (c *Crypt) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	return c.readBlocksVecF(0, start, v)
+}
+
+// ReadBlocksVecFlight implements storage.FlightVecDevice.
+func (c *Crypt) ReadBlocksVecFlight(fid, start uint64, v storage.BlockVec) error {
+	return c.readBlocksVecF(fid, start, v)
+}
+
+func (c *Crypt) readBlocksVecF(fid, start uint64, v storage.BlockVec) error {
 	bs := c.inner.BlockSize()
 	if v.BlockSize() != bs && v.Segments() > 0 {
 		return storage.ErrBadBuffer
 	}
-	if err := storage.ReadBlocksVec(c.inner, start, v); err != nil {
+	if err := storage.ReadBlocksVecFlight(c.inner, fid, start, v); err != nil {
 		return err
 	}
 	n := 0
@@ -170,6 +201,15 @@ func (c *Crypt) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 // scatter-gather write, so a vec-native inner device (a thin volume) sees
 // the original segmentation. The caller's buffers are never modified.
 func (c *Crypt) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	return c.writeBlocksVecF(0, start, v)
+}
+
+// WriteBlocksVecFlight implements storage.FlightVecDevice.
+func (c *Crypt) WriteBlocksVecFlight(fid, start uint64, v storage.BlockVec) error {
+	return c.writeBlocksVecF(fid, start, v)
+}
+
+func (c *Crypt) writeBlocksVecF(fid, start uint64, v storage.BlockVec) error {
 	bs := c.inner.BlockSize()
 	if v.BlockSize() != bs && v.Segments() > 0 {
 		return storage.ErrBadBuffer
@@ -200,7 +240,7 @@ func (c *Crypt) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 	if err != nil {
 		return err
 	}
-	if err := storage.WriteBlocksVec(c.inner, start, ct); err != nil {
+	if err := storage.WriteBlocksVecFlight(c.inner, fid, start, ct); err != nil {
 		return err
 	}
 	if c.meter != nil {
@@ -232,8 +272,23 @@ func (c *Crypt) DiscardRange(start, count uint64) error {
 	return storage.Discard(c.inner, start, count)
 }
 
+// DiscardFlight implements storage.FlightDiscarder with the same charging
+// as DiscardRange.
+func (c *Crypt) DiscardFlight(fid, start, count uint64) error {
+	if c.meter != nil {
+		for i := uint64(0); i < count; i++ {
+			c.meter.ChargeTraversalWrite()
+		}
+	}
+	return storage.DiscardFlight(c.inner, fid, start, count)
+}
+
 // Sync implements storage.Device.
 func (c *Crypt) Sync() error { return c.inner.Sync() }
+
+// SyncFlight implements storage.FlightSyncer: the id rides the barrier down
+// to the thin pool's group-commit door.
+func (c *Crypt) SyncFlight(fid uint64) error { return storage.SyncFlight(c.inner, fid) }
 
 // Close implements storage.Device. Closing the crypt view does not close
 // the underlying device: tearing down a dm device leaves the partition.

@@ -107,6 +107,12 @@ type Options struct {
 	// the default policy (3 attempts, 500µs base, 10ms cap); set
 	// MaxAttempts negative to disable retry.
 	Retry RetryPolicy
+	// Flight, when set, receives blktrace-style lifecycle events
+	// (Q/G/M/D/C) for every request while recording is enabled. The same
+	// recorder should be attached to the layers below (thinp, the data
+	// StatsDevice) so one request id threads the whole stack. nil, or a
+	// disabled recorder, costs one atomic load per stage hook.
+	Flight *obs.FlightRecorder
 }
 
 func (o *Options) fill() {
@@ -166,7 +172,7 @@ type Scheduler struct {
 	closedFlag atomic.Bool
 
 	m      Metrics
-	tracer *obs.Tracer
+	flight *obs.FlightRecorder
 }
 
 // Stats snapshots the scheduler's cumulative failure accounting (a thin
@@ -184,7 +190,7 @@ func (s *Scheduler) Stats() Stats {
 // NewScheduler starts a scheduler with opts (zero value: defaults).
 func NewScheduler(opts Options) *Scheduler {
 	opts.fill()
-	s := &Scheduler{opts: opts, live: opts.Workers, tracer: obs.NewTracer(0)}
+	s := &Scheduler{opts: opts, live: opts.Workers, flight: opts.Flight}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {

@@ -101,24 +101,25 @@ func (s *Scheduler) MetricsSnapshot() MetricsSnapshot {
 	}
 }
 
-// Tracer returns the scheduler's request tracer (disabled by default;
-// enable with SetEnabled(true) to record submit→dispatch→complete spans of
-// subsequent requests).
-func (s *Scheduler) Tracer() *obs.Tracer { return s.tracer }
+// Flight returns the flight recorder lifecycle events are published to —
+// the one handed in via Options.Flight, or nil (a valid always-disabled
+// recorder). Enable it with SetEnabled(true) to start recording Q/G/M/D/C
+// events for subsequent requests.
+func (s *Scheduler) Flight() *obs.FlightRecorder { return s.flight }
 
-// opName renders a request kind for trace spans.
-func opName(o Op) string {
+// flightOp maps a request kind to its flight-event op code.
+func flightOp(o Op) obs.FlightOp {
 	switch o {
 	case OpRead:
-		return "read"
+		return obs.FOpRead
 	case OpWrite:
-		return "write"
+		return obs.FOpWrite
 	case OpDiscard:
-		return "discard"
+		return obs.FOpDiscard
 	case OpSync:
-		return "sync"
+		return obs.FOpSync
 	case OpQuiesce:
-		return "quiesce"
+		return obs.FOpQuiesce
 	}
-	return "?"
+	return obs.FOpNone
 }

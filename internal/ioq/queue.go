@@ -53,6 +53,11 @@ type request struct {
 	// dispatchNS after draining.
 	submitNS   int64
 	dispatchNS int64
+	// fid is the flight-recorder request id, assigned at submission when
+	// recording is enabled and 0 (untagged) otherwise. It follows the
+	// request through merge, dispatch, and — via the storage Flight
+	// helpers — down the device stack to the thin pool and the leaf.
+	fid uint64
 }
 
 // blocks returns the request's length in device blocks.
@@ -197,6 +202,13 @@ func (q *VolumeQueue) submit(r *request) *Future {
 		return r.f
 	}
 	r.submitNS = obs.NowNS()
+	if rec := q.s.flight; rec.Enabled() {
+		// Q: the request enters the queue. The id assigned here is the one
+		// every later stage — scheduler, thinp, leaf device — records under.
+		r.fid = rec.NextID()
+		rec.Record(r.fid, obs.StageQueued, flightOp(r.op),
+			uint32(r.blocks(q.dev.BlockSize())), obs.ClassNone, 0)
+	}
 	q.s.m.Submitted.Inc()
 	q.s.m.QueueDepth.Inc()
 	q.mu.Lock()
@@ -275,6 +287,7 @@ func (q *VolumeQueue) dispatch() {
 		q.s.m.Batches.Inc()
 		for _, r := range batch {
 			r.dispatchNS = now
+			q.record(r, obs.StageStaged, obs.ClassNone, 0) // G: drained into a batch
 			q.s.m.QueueLat.ObserveNS(now - r.submitNS)
 		}
 		q.s.m.QueueDepth.Add(-int64(n))
@@ -354,11 +367,22 @@ func (q *VolumeQueue) expire(batch []*request) []*request {
 	return live
 }
 
+// record appends one flight event for a tagged request. Requests with
+// fid 0 (recording was off at submission) stay silent on every later
+// stage, so a mid-run enable never produces half-traced lifecycles.
+func (q *VolumeQueue) record(r *request, st obs.Stage, ec obs.ErrClass, aux uint64) {
+	if r.fid == 0 {
+		return
+	}
+	q.s.flight.Record(r.fid, st, flightOp(r.op),
+		uint32(r.blocks(q.dev.BlockSize())), ec, aux)
+}
+
 // finish completes a request's future and folds the outcome into the
 // scheduler's accounting: every completion path — executed, expired,
 // purged on close, poisoned behind a failed barrier — funnels through
-// here, so the counters, gauges, latency histograms, and tracer have one
-// source of truth.
+// here, so the counters, gauges, latency histograms, and the flight
+// recorder's terminal C event have one source of truth.
 func (q *VolumeQueue) finish(r *request, err error) {
 	m := &q.s.m
 	now := obs.NowNS()
@@ -380,16 +404,9 @@ func (q *VolumeQueue) finish(r *request, err error) {
 		m.QueueDepth.Dec()
 	}
 	m.Completed.Inc()
-	if q.s.tracer.Enabled() {
-		q.s.tracer.Record(obs.Span{
-			Op:         opName(r.op),
-			Blocks:     r.blocks(q.dev.BlockSize()),
-			SubmitNS:   r.submitNS,
-			DispatchNS: r.dispatchNS,
-			DoneNS:     now,
-			OK:         err == nil,
-		})
-	}
+	// C: terminal completion with error class (Aux 0 distinguishes it from
+	// the per-attempt C events the retry path records).
+	q.record(r, obs.StageComplete, storage.FlightClass(err), 0)
 	r.f.complete(err)
 }
 
@@ -437,19 +454,29 @@ func (q *VolumeQueue) exec(run []*request) {
 		q.finish(r, q.execOne(r))
 		return
 	}
-	start := run[0].start
+	head := run[0]
+	// M: each child records which head it merged into; D: every request of
+	// the run dispatches now, as one device operation carried by the head's
+	// id (blktrace's semantics — the merged bio goes down as the head).
+	for _, r := range run[1:] {
+		q.record(r, obs.StageMerged, obs.ClassNone, head.fid)
+	}
+	for _, r := range run {
+		q.record(r, obs.StageDispatch, obs.ClassNone, 1)
+	}
+	start := head.start
 	var err error
-	switch run[0].op {
+	switch head.op {
 	case OpRead:
-		err = storage.ReadBlocksVec(q.dev, start, q.runVec(run))
+		err = storage.ReadBlocksVecFlight(q.dev, head.fid, start, q.runVec(run))
 	case OpWrite:
-		err = storage.WriteBlocksVec(q.dev, start, q.runVec(run))
+		err = storage.WriteBlocksVecFlight(q.dev, head.fid, start, q.runVec(run))
 	case OpDiscard:
 		var count uint64
 		for _, r := range run {
 			count += r.count
 		}
-		err = storage.Discard(q.dev, start, count)
+		err = storage.DiscardFlight(q.dev, head.fid, start, count)
 	}
 	if err == nil {
 		q.s.m.CoalescedOps.Inc()
@@ -495,6 +522,12 @@ func (q *VolumeQueue) runVec(run []*request) storage.BlockVec {
 // after MaxAttempts. A request with a deadline stops retrying once the
 // next backoff would overrun it and reports the device's error.
 func (q *VolumeQueue) execOne(r *request) error {
+	// D: attempt 1 goes to the device. Each retry records its own D (Aux =
+	// attempt number), and each failed-but-retried attempt an intermediate
+	// C carrying the fault's class — so a trace shows every trip the
+	// request made, exactly like blktrace's requeue-and-redispatch.
+	attempt := uint64(1)
+	q.record(r, obs.StageDispatch, obs.ClassNone, attempt)
 	err := q.execDirect(r)
 	if err == nil || !storage.IsTransient(err) {
 		return err
@@ -515,12 +548,17 @@ func (q *VolumeQueue) execOne(r *request) error {
 		if !r.deadline.IsZero() && time.Now().Add(delay).After(r.deadline) {
 			return err
 		}
+		// This attempt failed and a retry is committed: close it with an
+		// intermediate C (non-zero Aux marks it non-terminal).
+		q.record(r, obs.StageComplete, storage.FlightClass(err), attempt)
 		time.Sleep(delay)
 		if delay *= 2; delay > pol.MaxDelay {
 			delay = pol.MaxDelay
 		}
 		stall++
+		attempt++
 		q.s.m.Retries.Inc()
+		q.record(r, obs.StageDispatch, obs.ClassNone, attempt)
 		if err = q.execDirect(r); err == nil {
 			q.s.m.Recovered.Inc()
 			return nil
@@ -531,17 +569,18 @@ func (q *VolumeQueue) execOne(r *request) error {
 	}
 }
 
-// execDirect issues a single request's device operation, once.
+// execDirect issues a single request's device operation, once, forwarding
+// the request's flight id so layers below record under the same lifecycle.
 func (q *VolumeQueue) execDirect(r *request) error {
 	switch r.op {
 	case OpRead:
-		return storage.ReadBlocks(q.dev, r.start, r.buf)
+		return storage.ReadBlocksFlight(q.dev, r.fid, r.start, r.buf)
 	case OpWrite:
-		return storage.WriteBlocks(q.dev, r.start, r.buf)
+		return storage.WriteBlocksFlight(q.dev, r.fid, r.start, r.buf)
 	case OpDiscard:
-		return storage.Discard(q.dev, r.start, r.count)
+		return storage.DiscardFlight(q.dev, r.fid, r.start, r.count)
 	case OpSync:
-		return q.dev.Sync()
+		return storage.SyncFlight(q.dev, r.fid)
 	case OpQuiesce:
 		// The barrier itself touches no device state; reaching execution
 		// IS the guarantee (everything older has drained).

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 	"sync/atomic"
@@ -100,16 +101,25 @@ func (s HistSnapshot) Mean() time.Duration {
 // exclusive upper edge of the bucket the rank falls in. Power-of-two
 // buckets bound the estimate within 2x of the true value, which is all a
 // status surface needs.
+//
+// Edge contract (pinned by TestQuantileEdges): an empty snapshot and q<=0
+// return 0; q is clamped to 1; the rank is the ceiling of q*Count clamped
+// to [1, Count], so q=1 lands exactly on the upper edge of the highest
+// non-empty bucket (a floor rank here can fall one observation — and so
+// one power-of-two bucket — short of the tail).
 func (s HistSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 || q <= 0 {
 		return 0
 	}
-	if q > 1 {
+	if q >= 1 {
 		q = 1
 	}
-	rank := uint64(q * float64(s.Count))
+	rank := uint64(math.Ceil(q * float64(s.Count)))
 	if rank == 0 {
 		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
 	}
 	var seen uint64
 	for i, c := range s.Buckets {

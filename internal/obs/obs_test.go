@@ -136,48 +136,98 @@ func TestEventLogDefaultCapacity(t *testing.T) {
 	}
 }
 
-func TestTracerDisabledAndNil(t *testing.T) {
-	var nilT *Tracer
-	if nilT.Enabled() {
-		t.Fatal("nil tracer reports enabled")
-	}
-	nilT.SetEnabled(true) // must not panic
-	nilT.Record(Span{Op: "write"})
-	if got := nilT.Snapshot(); got != nil {
-		t.Fatalf("nil tracer snapshot = %v, want nil", got)
+// TestQuantileEdges pins the edge contract of HistSnapshot.Quantile:
+// empty snapshots, q at and beyond the [0,1] boundaries, single-bucket
+// populations, and the ceil-rank behaviour that keeps q=1 on the upper
+// edge of the highest non-empty bucket.
+func TestQuantileEdges(t *testing.T) {
+	var empty HistSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
 	}
 
-	tr := NewTracer(8)
-	tr.Record(Span{Op: "write"}) // disabled: dropped
-	if got := len(tr.Snapshot()); got != 0 {
-		t.Fatalf("disabled tracer recorded %d spans", got)
+	var h Histogram
+	h.Observe(3 * time.Nanosecond) // single observation, bucket 1 ([2,4))
+	single := h.Snapshot()
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{-0.5, 0},
+		{0, 0},
+		{0.0001, 4}, // ceil-rank: any positive q maps to the only sample
+		{0.5, 4},
+		{1, 4},
+		{1.5, 4}, // clamped to 1
 	}
-	tr.SetEnabled(true)
-	tr.Record(Span{Op: "write", Blocks: 8, OK: true})
-	tr.Record(Span{Op: "sync"})
-	spans := tr.Snapshot()
-	if len(spans) != 2 || spans[0].Seq != 1 || spans[1].Seq != 2 {
-		t.Fatalf("spans = %+v", spans)
+	for _, tc := range cases {
+		if got := single.Quantile(tc.q); got != tc.want {
+			t.Errorf("single.Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
 	}
-	if spans[0].Op != "write" || spans[0].Blocks != 8 || !spans[0].OK {
-		t.Fatalf("span[0] = %+v", spans[0])
+
+	// 99 fast + 1 slow: a floor rank computes rank 99 at q=0.99 and a
+	// ceil rank computes 99 too, but at q=1 the rank must be 100 — the
+	// slow bucket — and never fall back to the fast bucket.
+	var h2 Histogram
+	for i := 0; i < 99; i++ {
+		h2.Observe(time.Microsecond)
+	}
+	h2.Observe(time.Millisecond)
+	s := h2.Snapshot()
+	if got := s.Quantile(1); got < time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want slow-bucket edge >= 1ms", got)
+	}
+	if got := s.Quantile(0.5); got > 2*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want fast-bucket edge", got)
+	}
+	// Ceil rank: q=0.995 of 100 samples is rank 100, the slow sample.
+	if got := s.Quantile(0.995); got < time.Millisecond {
+		t.Fatalf("Quantile(0.995) = %v, want slow-bucket edge (ceil rank)", got)
 	}
 }
 
-func TestTracerRingWrap(t *testing.T) {
-	tr := NewTracer(4)
-	tr.SetEnabled(true)
-	for i := 0; i < 10; i++ {
-		tr.Record(Span{Op: "write", Blocks: uint64(i)})
+// TestEventLogConcurrentSnapshot hammers Append against Snapshot from
+// many goroutines. The mutex makes torn reads impossible; the assertions
+// pin the invariants a reader relies on — snapshots are internally
+// consistent (contiguous ascending seqs) — and the -race run (CI matrix
+// at GOMAXPROCS 1 and 4) verifies the synchronization itself.
+func TestEventLogConcurrentSnapshot(t *testing.T) {
+	l := NewEventLog(16)
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Append("k", "d")
+			}
+		}()
 	}
-	spans := tr.Snapshot()
-	if len(spans) != 4 {
-		t.Fatalf("retained = %d, want 4", len(spans))
-	}
-	for i, s := range spans {
-		if want := uint64(i + 7); s.Seq != want {
-			t.Fatalf("spans[%d].Seq = %d, want %d", i, s.Seq, want)
+	var snaps int
+	for {
+		got := l.Snapshot()
+		for i := 1; i < len(got); i++ {
+			if got[i].Seq != got[i-1].Seq+1 {
+				t.Fatalf("snapshot not contiguous: seq %d follows %d",
+					got[i].Seq, got[i-1].Seq)
+			}
 		}
+		snaps++
+		if l.Seq() == writers*perWriter {
+			break
+		}
+	}
+	wg.Wait()
+	if l.Seq() != writers*perWriter {
+		t.Fatalf("seq = %d, want %d", l.Seq(), writers*perWriter)
+	}
+	if snaps == 0 {
+		t.Fatal("no snapshots taken")
 	}
 }
 
@@ -192,8 +242,8 @@ func TestConcurrentPrimitives(t *testing.T) {
 	var g Gauge
 	var h Histogram
 	l := NewEventLog(32)
-	tr := NewTracer(32)
-	tr.SetEnabled(true)
+	fr := NewFlightRecorder(256)
+	fr.SetEnabled(true)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -207,12 +257,12 @@ func TestConcurrentPrimitives(t *testing.T) {
 				h.ObserveNS(int64(i%4096 + 1))
 				if i%100 == 0 {
 					l.Append("k", "d")
-					tr.Record(Span{Op: "write", Blocks: 1})
+					fr.Record(fr.NextID(), StageQueued, FOpWrite, 1, ClassNone, 0)
 				}
 				if i%500 == 0 {
 					_ = h.Snapshot()
 					_ = l.Snapshot()
-					_ = tr.Snapshot()
+					_ = fr.Events()
 				}
 			}
 		}(w)
@@ -257,15 +307,6 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	}
 }
 
-func BenchmarkTracerDisabled(b *testing.B) {
-	tr := NewTracer(64)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if tr.Enabled() {
-			tr.Record(Span{Op: "write"})
-		}
-	}
-}
 
 func BenchmarkHistogramObserveParallel(b *testing.B) {
 	var h Histogram

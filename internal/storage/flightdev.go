@@ -1,0 +1,131 @@
+package storage
+
+// Flight-id plumbing: the context-free way a request id travels from the
+// scheduler down a device stack to the leaf.
+//
+// The flight recorder (internal/obs) keys lifecycle events by a per-request
+// id. Rather than threading a context.Context through every Device method
+// (allocating, and forcing an API break on every implementation), each op
+// gets an optional *Flight twin carrying a plain uint64. The package-level
+// helpers below dispatch to the twin when the device implements it and the
+// id is nonzero, and degrade to the ordinary (id-less) path otherwise — the
+// exact shape of the ReadBlocks/WriteBlocksVec fallback ladder, so a stack
+// can adopt flight propagation one layer at a time.
+//
+// fid 0 is the reserved "untagged" id: helpers treat it as "no recorder in
+// play" and skip the interface assertion entirely, keeping the disabled
+// cost of the whole mechanism at one comparison per call.
+//
+// Implementing layers in this repo: StatsDevice (records the leaf
+// StageDevOp event), SliceDevice (offsets and forwards), vclock.CostDevice
+// and dm.Crypt (charge/transform and forward), thinp.Thin (resolves
+// mappings and forwards to the pool's data device).
+
+// FlightBlockDevice is the per-block flight twin.
+type FlightBlockDevice interface {
+	ReadBlockFlight(fid, idx uint64, dst []byte) error
+	WriteBlockFlight(fid, idx uint64, src []byte) error
+}
+
+// FlightRangeDevice is the consecutive-range flight twin of RangeDevice.
+type FlightRangeDevice interface {
+	ReadBlocksFlight(fid, start uint64, dst []byte) error
+	WriteBlocksFlight(fid, start uint64, src []byte) error
+}
+
+// FlightVecDevice is the scatter-gather flight twin of VecDevice.
+type FlightVecDevice interface {
+	ReadBlocksVecFlight(fid, start uint64, v BlockVec) error
+	WriteBlocksVecFlight(fid, start uint64, v BlockVec) error
+}
+
+// FlightDiscarder is the TRIM flight twin of Discarder.
+type FlightDiscarder interface {
+	DiscardFlight(fid, start, count uint64) error
+}
+
+// FlightSyncer is the sync flight twin.
+type FlightSyncer interface {
+	SyncFlight(fid uint64) error
+}
+
+// ReadBlockFlight reads one block, propagating fid when possible.
+func ReadBlockFlight(d Device, fid, idx uint64, dst []byte) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightBlockDevice); ok {
+			return fd.ReadBlockFlight(fid, idx, dst)
+		}
+	}
+	return d.ReadBlock(idx, dst)
+}
+
+// WriteBlockFlight writes one block, propagating fid when possible.
+func WriteBlockFlight(d Device, fid, idx uint64, src []byte) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightBlockDevice); ok {
+			return fd.WriteBlockFlight(fid, idx, src)
+		}
+	}
+	return d.WriteBlock(idx, src)
+}
+
+// ReadBlocksFlight is ReadBlocks with flight-id propagation.
+func ReadBlocksFlight(d Device, fid, start uint64, dst []byte) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightRangeDevice); ok {
+			return fd.ReadBlocksFlight(fid, start, dst)
+		}
+	}
+	return ReadBlocks(d, start, dst)
+}
+
+// WriteBlocksFlight is WriteBlocks with flight-id propagation.
+func WriteBlocksFlight(d Device, fid, start uint64, src []byte) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightRangeDevice); ok {
+			return fd.WriteBlocksFlight(fid, start, src)
+		}
+	}
+	return WriteBlocks(d, start, src)
+}
+
+// ReadBlocksVecFlight is ReadBlocksVec with flight-id propagation.
+func ReadBlocksVecFlight(d Device, fid, start uint64, v BlockVec) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightVecDevice); ok {
+			return fd.ReadBlocksVecFlight(fid, start, v)
+		}
+	}
+	return ReadBlocksVec(d, start, v)
+}
+
+// WriteBlocksVecFlight is WriteBlocksVec with flight-id propagation.
+func WriteBlocksVecFlight(d Device, fid, start uint64, v BlockVec) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightVecDevice); ok {
+			return fd.WriteBlocksVecFlight(fid, start, v)
+		}
+	}
+	return WriteBlocksVec(d, start, v)
+}
+
+// DiscardFlight is Discard with flight-id propagation (still advisory).
+func DiscardFlight(d Device, fid, start, count uint64) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightDiscarder); ok {
+			return fd.DiscardFlight(fid, start, count)
+		}
+	}
+	return Discard(d, start, count)
+}
+
+// SyncFlight is a device sync with flight-id propagation, so the id can
+// follow the barrier into the pool's group-commit door.
+func SyncFlight(d Device, fid uint64) error {
+	if fid != 0 {
+		if fd, ok := d.(FlightSyncer); ok {
+			return fd.SyncFlight(fid)
+		}
+	}
+	return d.Sync()
+}

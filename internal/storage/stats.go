@@ -87,6 +87,12 @@ type StatsDevice struct {
 
 	m DeviceMetrics
 
+	// rec, when set, receives one StageDevOp flight event per device
+	// operation — the leaf of the request-lifecycle trace. Set it before
+	// traffic starts (SetFlightRecorder is not synchronized); a nil
+	// recorder costs one comparison per op.
+	rec *obs.FlightRecorder
+
 	// The write trace is the one remaining mutex-guarded piece: it is an
 	// opt-in, unbounded recording the adversary's layout detector consumes
 	// in ablation experiments, never part of live telemetry.
@@ -96,8 +102,12 @@ type StatsDevice struct {
 }
 
 var (
-	_ RangeDevice = (*StatsDevice)(nil)
-	_ VecDevice   = (*StatsDevice)(nil)
+	_ RangeDevice       = (*StatsDevice)(nil)
+	_ VecDevice         = (*StatsDevice)(nil)
+	_ FlightBlockDevice = (*StatsDevice)(nil)
+	_ FlightRangeDevice = (*StatsDevice)(nil)
+	_ FlightVecDevice   = (*StatsDevice)(nil)
+	_ FlightSyncer      = (*StatsDevice)(nil)
 )
 
 // NewStatsDevice wraps inner with I/O accounting.
@@ -107,6 +117,36 @@ func NewStatsDevice(inner Device) *StatsDevice {
 
 // Metrics exposes the device's obs-backed counters and histograms.
 func (d *StatsDevice) Metrics() *DeviceMetrics { return &d.m }
+
+// SetFlightRecorder attaches the flight recorder that receives this
+// device's leaf StageDevOp events. Call before the device sees traffic.
+func (d *StatsDevice) SetFlightRecorder(r *obs.FlightRecorder) { d.rec = r }
+
+// FlightClass maps an error to its flight-event classification: nil,
+// transient, medium, or other. Shared by every layer that records
+// completion events so a class means the same thing stack-wide.
+func FlightClass(err error) obs.ErrClass {
+	switch {
+	case err == nil:
+		return obs.ClassNone
+	case IsTransient(err):
+		return obs.ClassTransient
+	case IsMedium(err):
+		return obs.ClassMedium
+	default:
+		return obs.ClassOther
+	}
+}
+
+// devop records the leaf flight event for one device operation. Events
+// carry op kind, block count and error class only — never addresses — so
+// the export stays deniability-safe.
+func (d *StatsDevice) devop(fid uint64, op obs.FlightOp, n uint64, err error) {
+	if !d.rec.Enabled() {
+		return
+	}
+	d.rec.Record(fid, obs.StageDevOp, op, uint32(n), FlightClass(err), 0)
+}
 
 // EnableWriteTrace starts recording the index of every written block in
 // order. The adversary's layout detector consumes this trace in ablation
@@ -160,8 +200,19 @@ func (d *StatsDevice) NumBlocks() uint64 { return d.inner.NumBlocks() }
 
 // ReadBlock implements Device.
 func (d *StatsDevice) ReadBlock(idx uint64, dst []byte) error {
+	return d.readBlockF(0, idx, dst)
+}
+
+// ReadBlockFlight implements FlightBlockDevice.
+func (d *StatsDevice) ReadBlockFlight(fid, idx uint64, dst []byte) error {
+	return d.readBlockF(fid, idx, dst)
+}
+
+func (d *StatsDevice) readBlockF(fid, idx uint64, dst []byte) error {
 	t0 := time.Now()
-	if err := d.inner.ReadBlock(idx, dst); err != nil {
+	err := d.inner.ReadBlock(idx, dst)
+	d.devop(fid, obs.FOpRead, 1, err)
+	if err != nil {
 		return err
 	}
 	d.m.ReadLat.Since(t0)
@@ -172,8 +223,19 @@ func (d *StatsDevice) ReadBlock(idx uint64, dst []byte) error {
 
 // WriteBlock implements Device.
 func (d *StatsDevice) WriteBlock(idx uint64, src []byte) error {
+	return d.writeBlockF(0, idx, src)
+}
+
+// WriteBlockFlight implements FlightBlockDevice.
+func (d *StatsDevice) WriteBlockFlight(fid, idx uint64, src []byte) error {
+	return d.writeBlockF(fid, idx, src)
+}
+
+func (d *StatsDevice) writeBlockF(fid, idx uint64, src []byte) error {
 	t0 := time.Now()
-	if err := d.inner.WriteBlock(idx, src); err != nil {
+	err := d.inner.WriteBlock(idx, src)
+	d.devop(fid, obs.FOpWrite, 1, err)
+	if err != nil {
 		return err
 	}
 	d.m.WriteLat.Since(t0)
@@ -189,8 +251,19 @@ func (d *StatsDevice) WriteBlock(idx uint64, src []byte) error {
 // per-block reads would, so write-amplification accounting is unchanged by
 // vectoring. Latency is one observation per range op.
 func (d *StatsDevice) ReadBlocks(start uint64, dst []byte) error {
+	return d.readBlocksF(0, start, dst)
+}
+
+// ReadBlocksFlight implements FlightRangeDevice.
+func (d *StatsDevice) ReadBlocksFlight(fid, start uint64, dst []byte) error {
+	return d.readBlocksF(fid, start, dst)
+}
+
+func (d *StatsDevice) readBlocksF(fid, start uint64, dst []byte) error {
 	t0 := time.Now()
-	if err := ReadBlocks(d.inner, start, dst); err != nil {
+	err := ReadBlocks(d.inner, start, dst)
+	d.devop(fid, obs.FOpRead, uint64(len(dst)/d.inner.BlockSize()), err)
+	if err != nil {
 		return err
 	}
 	d.m.ReadLat.Since(t0)
@@ -202,8 +275,19 @@ func (d *StatsDevice) ReadBlocks(start uint64, dst []byte) error {
 // WriteBlocks implements RangeDevice. The write trace records every block
 // of the range in ascending order, as the per-block path would.
 func (d *StatsDevice) WriteBlocks(start uint64, src []byte) error {
+	return d.writeBlocksF(0, start, src)
+}
+
+// WriteBlocksFlight implements FlightRangeDevice.
+func (d *StatsDevice) WriteBlocksFlight(fid, start uint64, src []byte) error {
+	return d.writeBlocksF(fid, start, src)
+}
+
+func (d *StatsDevice) writeBlocksF(fid, start uint64, src []byte) error {
 	t0 := time.Now()
-	if err := WriteBlocks(d.inner, start, src); err != nil {
+	err := WriteBlocks(d.inner, start, src)
+	d.devop(fid, obs.FOpWrite, uint64(len(src)/d.inner.BlockSize()), err)
+	if err != nil {
 		return err
 	}
 	d.m.WriteLat.Since(t0)
@@ -220,8 +304,19 @@ func (d *StatsDevice) WriteBlocks(start uint64, src []byte) error {
 // per-block path would, so write-amplification accounting is unchanged by
 // scatter-gather.
 func (d *StatsDevice) ReadBlocksVec(start uint64, v BlockVec) error {
+	return d.readBlocksVecF(0, start, v)
+}
+
+// ReadBlocksVecFlight implements FlightVecDevice.
+func (d *StatsDevice) ReadBlocksVecFlight(fid, start uint64, v BlockVec) error {
+	return d.readBlocksVecF(fid, start, v)
+}
+
+func (d *StatsDevice) readBlocksVecF(fid, start uint64, v BlockVec) error {
 	t0 := time.Now()
-	if err := ReadBlocksVec(d.inner, start, v); err != nil {
+	err := ReadBlocksVec(d.inner, start, v)
+	d.devop(fid, obs.FOpRead, uint64(v.Len()), err)
+	if err != nil {
 		return err
 	}
 	d.m.ReadLat.Since(t0)
@@ -233,8 +328,19 @@ func (d *StatsDevice) ReadBlocksVec(start uint64, v BlockVec) error {
 // WriteBlocksVec implements VecDevice. The write trace records every block
 // of the vec in ascending order, as the per-block path would.
 func (d *StatsDevice) WriteBlocksVec(start uint64, v BlockVec) error {
+	return d.writeBlocksVecF(0, start, v)
+}
+
+// WriteBlocksVecFlight implements FlightVecDevice.
+func (d *StatsDevice) WriteBlocksVecFlight(fid, start uint64, v BlockVec) error {
+	return d.writeBlocksVecF(fid, start, v)
+}
+
+func (d *StatsDevice) writeBlocksVecF(fid, start uint64, v BlockVec) error {
 	t0 := time.Now()
-	if err := WriteBlocksVec(d.inner, start, v); err != nil {
+	err := WriteBlocksVec(d.inner, start, v)
+	d.devop(fid, obs.FOpWrite, uint64(v.Len()), err)
+	if err != nil {
 		return err
 	}
 	d.m.WriteLat.Since(t0)
@@ -248,9 +354,16 @@ func (d *StatsDevice) WriteBlocksVec(start uint64, v BlockVec) error {
 }
 
 // Sync implements Device.
-func (d *StatsDevice) Sync() error {
+func (d *StatsDevice) Sync() error { return d.syncF(0) }
+
+// SyncFlight implements FlightSyncer.
+func (d *StatsDevice) SyncFlight(fid uint64) error { return d.syncF(fid) }
+
+func (d *StatsDevice) syncF(fid uint64) error {
 	t0 := time.Now()
-	if err := d.inner.Sync(); err != nil {
+	err := d.inner.Sync()
+	d.devop(fid, obs.FOpSync, 0, err)
+	if err != nil {
 		return err
 	}
 	d.m.SyncLat.Since(t0)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobiceal/internal/obs"
 	"mobiceal/internal/storage"
 )
 
@@ -287,6 +288,11 @@ type commitBatch struct {
 	done chan struct{}
 	err  error
 	full bool
+	// round is the pool-lifetime sequence number of this group-commit
+	// round (commitRound). Flight events of the round — every caller's
+	// commit-join, the leader's commit-flip — carry it as Aux, so the
+	// offline analyzer can reassemble which flip covered which callers.
+	round uint64
 	// joins counts committers that parked on this batch. The leader polls
 	// it while deciding how long to hold the door open (see groupCommit):
 	// it is written under doorMu but read outside it, hence atomic.
@@ -313,7 +319,13 @@ type commitBatch struct {
 // and each caller still gets full durability: its mutations
 // happened-before it parked, and the leader snapshots the delta only
 // after every parked caller joined.
-func (p *Pool) Commit() error { return p.groupCommit(false) }
+func (p *Pool) Commit() error { return p.groupCommit(false, 0) }
+
+// CommitFlight is Commit with flight-id plumbing: the caller's park at the
+// commit door records a commit-join, and — if this caller ends up leading
+// the round — the successful flip records a commit-flip whose N is the
+// number of callers the one A/B flip covered.
+func (p *Pool) CommitFlight(fid uint64) error { return p.groupCommit(false, fid) }
 
 // CommitFull persists the pool metadata by rebuilding the image from the
 // page tables and rewriting the target slot in its entirety, bypassing the
@@ -322,7 +334,7 @@ func (p *Pool) Commit() error { return p.groupCommit(false) }
 // protocol — inactive slot, then superblock flip — is identical, and a
 // CommitFull folded into a group-commit round upgrades the whole round to
 // a full rewrite.
-func (p *Pool) CommitFull() error { return p.groupCommit(true) }
+func (p *Pool) CommitFull() error { return p.groupCommit(true, 0) }
 
 // CommitStats reports how many Commit/CommitFull calls the pool has served
 // and how many successful A/B slot flips they cost (failed rounds and the
@@ -351,19 +363,29 @@ func (p *Pool) CommitStats() (calls, flips uint64) {
 // (doorMu), joining happened-before the door close (doorMu again), and the
 // close happens-before the drain/detach under the same p.mu hold — so one
 // flip durably covers the whole batch.
-func (p *Pool) groupCommit(full bool) error {
+func (p *Pool) groupCommit(full bool, fid uint64) error {
+	fid = p.flightID(fid)
 	p.doorMu.Lock()
 	p.m.CommitCalls.Inc()
 	if b := p.batch; b != nil {
 		b.full = b.full || full
 		b.joins.Add(1)
+		round := b.round
 		p.doorMu.Unlock()
+		if fid != 0 {
+			p.flight.Record(fid, obs.StageCommitJoin, obs.FOpSync, 0, obs.ClassNone, round)
+		}
 		<-b.done
 		return b.err
 	}
-	b := &commitBatch{done: make(chan struct{}), full: full}
+	b := &commitBatch{done: make(chan struct{}), full: full, round: p.commitRound.Add(1)}
 	p.batch = b
 	p.doorMu.Unlock()
+	if fid != 0 {
+		// The leader joins its own round; its join→flip span is the full
+		// round latency, door hold included.
+		p.flight.Record(fid, obs.StageCommitJoin, obs.FOpSync, 0, obs.ClassNone, b.round)
+	}
 
 	p.commitMu.Lock()
 	// Door-hold: the leader yields while the batch is still filling — a
@@ -389,6 +411,12 @@ func (p *Pool) groupCommit(full bool) error {
 		// Count only flips that actually reached the device: a failed
 		// round leaves the active slot untouched.
 		p.m.CommitFlips.Inc()
+		if fid != 0 {
+			// N is how many Commit calls this one A/B flip covered
+			// (leader + joiners) — the trace-side view of the fold ratio.
+			p.flight.Record(fid, obs.StageCommitFlip, obs.FOpSync,
+				uint32(b.joins.Load()+1), obs.ClassNone, b.round)
+		}
 	}
 	p.commitMu.Unlock()
 	close(b.done)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobiceal/internal/obs"
 	"mobiceal/internal/prng"
 	"mobiceal/internal/storage"
 	"mobiceal/internal/vclock"
@@ -77,6 +78,15 @@ type Options struct {
 	// custom allocators run unsharded. The shard split is runtime-only —
 	// the on-disk format carries one logical bitmap either way.
 	Shards int
+	// Flight, when set, receives request-lifecycle events from the pool's
+	// internal stages (map-resolve, provision, replace, commit-join,
+	// commit-flip). It should be the same recorder the I/O scheduler above
+	// and the data-path StatsDevice below use, so one request id threads
+	// the whole stack. Events carry stage, op kind, block COUNTS and the
+	// commit round only — never block addresses or thin ids — so the
+	// stream stays deniability-safe (see DESIGN.md "Observability"). nil,
+	// or a disabled recorder, costs one atomic load per hook.
+	Flight *obs.FlightRecorder
 }
 
 func (o *Options) fill() {
@@ -304,6 +314,13 @@ type Pool struct {
 	// everything in obs; the zero value is ready, so pools constructed
 	// anywhere — including tests building Pool literals — carry it.
 	m PoolMetrics
+
+	// flight is the request-lifecycle recorder (Options.Flight; nil is a
+	// valid always-disabled recorder). commitRound numbers group-commit
+	// rounds so commit-join and commit-flip events of one round share an
+	// Aux value the offline analyzer can re-associate.
+	flight      *obs.FlightRecorder
+	commitRound atomic.Uint64
 }
 
 // mapStripes is the number of per-thin mapping lock stripes. Thin ids map
@@ -459,6 +476,7 @@ func newPool(data, meta storage.Device, opts Options) *Pool {
 		dirtyThins:  make(map[int]struct{}),
 		dirtyBM:     make(map[uint64]struct{}),
 		structDirty: true,
+		flight:      opts.Flight,
 	}
 	for i := range p.stripes {
 		p.stripes[i].dirty = make(map[int]struct{})
@@ -785,6 +803,26 @@ func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
 	return out, nil
 }
 
+// Flight returns the pool's request-lifecycle recorder (Options.Flight;
+// nil is a valid always-disabled recorder).
+func (p *Pool) Flight() *obs.FlightRecorder { return p.flight }
+
+// flightID returns fid unchanged when the request is already tagged.
+// Untagged calls (fid 0) get a fresh id while recording is enabled, so
+// direct Pool/Thin entry points — bypassing the I/O scheduler — still
+// produce complete per-call lifecycles. Returns 0 when recording is off:
+// downstream stage hooks all guard on fid != 0, so a disabled recorder
+// costs one atomic load here and nothing below.
+func (p *Pool) flightID(fid uint64) uint64 {
+	if fid != 0 {
+		return fid
+	}
+	if p.flight.Enabled() {
+		return p.flight.NextID()
+	}
+	return 0
+}
+
 // provisionVB maps a new physical block for (tm, vb) and runs the
 // dummy-write policy, reporting whether THIS call provisioned the block
 // (false when a racing writer already mapped it — the caller must not
@@ -797,13 +835,13 @@ func (p *Pool) PhysicalBlocks(id int) ([]uint64, error) {
 // of space degrades the pool to OutOfDataSpace in place; shared callers
 // handle the mode transition themselves after dropping the read lock
 // (noteNoSpace) — mode mutation needs mu exclusively.
-func (p *Pool) provisionVB(tm *thinMeta, st *mapStripe, vb uint64, aff int, exclusive bool) (bool, error) {
+func (p *Pool) provisionVB(tm *thinMeta, st *mapStripe, vb uint64, aff int, exclusive bool, fid uint64) (bool, error) {
 	st.mu.Lock()
 	if tm.pt.mapped(vb) {
 		st.mu.Unlock()
 		return false, nil
 	}
-	pb, err := p.allocate(aff)
+	pb, err := p.allocate(fid, aff)
 	if err != nil {
 		st.mu.Unlock()
 		if exclusive && errors.Is(err, ErrNoSpace) {
@@ -846,6 +884,13 @@ func (p *Pool) provisionVB(tm *thinMeta, st *mapStripe, vb uint64, aff int, excl
 // the stream when the burst ends), so even the dry path costs one AES key
 // schedule per burst instead of per block. Caller holds p.mu in either
 // mode and no stripe lock.
+//
+// Flight recording: each noise block gets a fresh request id and emits
+// exactly the lifecycle a fresh single-block real write emits —
+// provision (inside allocate), map-resolve once mapped, then the leaf
+// devop — so an adversary reading the event stream cannot tell a dummy
+// burst from real traffic by stage signature (the trace-deniability test
+// pins this).
 func (p *Pool) execDummy(target, count int) error {
 	tm, ok := p.thins[target]
 	if !ok {
@@ -867,16 +912,22 @@ func (p *Pool) execDummy(target, count int) error {
 		if !ok {
 			return nil
 		}
+		bfid := p.flightID(0)
 		// Affinity is the target thin for the affinity-based strategies;
 		// the random picker ignores it — dummy placement must stay
 		// globally uniform (the deniability property).
-		pb, err := p.allocate(target)
+		pb, err := p.allocate(bfid, target)
 		if err != nil {
 			return nil // pool filled up mid-write; same best-effort rule
 		}
 		tm.mapSet(vb, pb)
 		tm.noteMapped(vb)
 		st.dirty[tm.id] = struct{}{}
+		if bfid != 0 {
+			// Same stage order as a real fresh write: provision (above),
+			// then map-resolve, then the device write below.
+			p.flight.Record(bfid, obs.StageMapResolve, obs.FOpWrite, 1, obs.ClassNone, 0)
+		}
 		noise := p.takeStagedNoise()
 		staged := noise != nil
 		if !staged {
@@ -898,7 +949,7 @@ func (p *Pool) execDummy(target, count int) error {
 			// the staging optimization.
 			p.opts.Meter.ChargeCrypto(len(noise))
 		}
-		werr := p.data.WriteBlock(pb, noise)
+		werr := storage.WriteBlockFlight(p.data, bfid, pb, noise)
 		if staged {
 			// The device copied (or rejected) the payload; the buffer goes
 			// back for the next refill to overwrite.

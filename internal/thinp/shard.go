@@ -202,8 +202,11 @@ func (p *Pool) claimShardLocked(s *allocShard, pb uint64) error {
 //
 // This is the telemetry choke point for provisioning: real provisions and
 // dummy-write allocations both land here, so the public count and latency
-// distribution cannot tell them apart (metrics.go).
-func (p *Pool) allocate(aff int) (uint64, error) {
+// distribution cannot tell them apart (metrics.go). The flight recorder's
+// provision stage hangs off the same choke point for the same reason —
+// a tagged dummy allocation and a tagged real one emit the identical
+// event (stage, op, count only; never the block number).
+func (p *Pool) allocate(fid uint64, aff int) (uint64, error) {
 	t0 := time.Now()
 	pb, err := p.pickAndClaim(aff)
 	if err != nil {
@@ -211,6 +214,9 @@ func (p *Pool) allocate(aff int) (uint64, error) {
 	}
 	p.m.Provisions.Inc()
 	p.m.AllocLat.Since(t0)
+	if fid != 0 {
+		p.flight.Record(fid, obs.StageProvision, obs.FOpWrite, 1, obs.ClassNone, 0)
+	}
 	return pb, nil
 }
 

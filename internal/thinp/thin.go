@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"mobiceal/internal/obs"
 	"mobiceal/internal/storage"
 )
 
@@ -37,6 +38,12 @@ func (t *Thin) Affinity() int { return int(t.aff.Load()) }
 var (
 	_ storage.RangeDevice = (*Thin)(nil)
 	_ storage.VecDevice   = (*Thin)(nil)
+
+	_ storage.FlightBlockDevice = (*Thin)(nil)
+	_ storage.FlightRangeDevice = (*Thin)(nil)
+	_ storage.FlightVecDevice   = (*Thin)(nil)
+	_ storage.FlightSyncer      = (*Thin)(nil)
+	_ storage.FlightDiscarder   = (*Thin)(nil)
 )
 
 // ID returns the thin device id.
@@ -77,21 +84,57 @@ func (t *Thin) WriteBlock(idx uint64, src []byte) error {
 // ReadBlocks implements storage.RangeDevice as the single-segment case of
 // ReadBlocksVec.
 func (t *Thin) ReadBlocks(start uint64, dst []byte) error {
-	v, err := t.vecOf(dst)
-	if err != nil {
-		return err
-	}
-	return t.ReadBlocksVec(start, v)
+	return t.ReadBlocksFlight(0, start, dst)
 }
 
 // WriteBlocks implements storage.RangeDevice as the single-segment case of
 // WriteBlocksVec.
 func (t *Thin) WriteBlocks(start uint64, src []byte) error {
+	return t.WriteBlocksFlight(0, start, src)
+}
+
+// ReadBlockFlight implements storage.FlightBlockDevice.
+func (t *Thin) ReadBlockFlight(fid, idx uint64, dst []byte) error {
+	if len(dst) != t.pool.data.BlockSize() {
+		return storage.ErrBadBuffer
+	}
+	return t.ReadBlocksFlight(fid, idx, dst)
+}
+
+// WriteBlockFlight implements storage.FlightBlockDevice.
+func (t *Thin) WriteBlockFlight(fid, idx uint64, src []byte) error {
+	if len(src) != t.pool.data.BlockSize() {
+		return storage.ErrBadBuffer
+	}
+	return t.WriteBlocksFlight(fid, idx, src)
+}
+
+// ReadBlocksFlight implements storage.FlightRangeDevice.
+func (t *Thin) ReadBlocksFlight(fid, start uint64, dst []byte) error {
+	v, err := t.vecOf(dst)
+	if err != nil {
+		return err
+	}
+	return t.readBlocksVecF(fid, start, v)
+}
+
+// WriteBlocksFlight implements storage.FlightRangeDevice.
+func (t *Thin) WriteBlocksFlight(fid, start uint64, src []byte) error {
 	v, err := t.vecOf(src)
 	if err != nil {
 		return err
 	}
-	return t.WriteBlocksVec(start, v)
+	return t.writeBlocksVecF(fid, start, v)
+}
+
+// ReadBlocksVecFlight implements storage.FlightVecDevice.
+func (t *Thin) ReadBlocksVecFlight(fid, start uint64, v storage.BlockVec) error {
+	return t.readBlocksVecF(fid, start, v)
+}
+
+// WriteBlocksVecFlight implements storage.FlightVecDevice.
+func (t *Thin) WriteBlocksVecFlight(fid, start uint64, v storage.BlockVec) error {
+	return t.writeBlocksVecF(fid, start, v)
 }
 
 // vecOf wraps a flat buffer as a vec. An empty buffer becomes the empty
@@ -179,6 +222,14 @@ func (t *Thin) checkVecLocked(start uint64, v storage.BlockVec) (*thinMeta, uint
 // move) and go down as single scatter-gather data-device reads; holes
 // zero-fill the destination segments directly.
 func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
+	return t.readBlocksVecF(0, start, v)
+}
+
+// readBlocksVecF is ReadBlocksVec with flight-id plumbing: the map-resolve
+// stage is recorded once per request after the page-table walk, and the
+// data-device reads carry the id down to the leaf.
+func (t *Thin) readBlocksVecF(fid, start uint64, v storage.BlockVec) error {
+	fid = t.pool.flightID(fid)
 	var extArr [16]extent
 	t.pool.mu.RLock()
 	// Reads survive every degradation short of PoolFail: a read-only pool
@@ -200,6 +251,11 @@ func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 	tm.pt.walkRange(start, n, func(_ uint64, pb uint64, mapped bool) {
 		exts = appendRun(exts, pb, !mapped)
 	})
+	if fid != 0 {
+		// The whole range is resolved; the transfers below serve exactly
+		// this resolution.
+		t.pool.flight.Record(fid, obs.StageMapResolve, obs.FOpRead, uint32(n), obs.ClassNone, 0)
+	}
 	meter := t.pool.opts.Meter
 	off := 0
 	for _, e := range exts {
@@ -210,7 +266,7 @@ func (t *Thin) ReadBlocksVec(start uint64, v storage.BlockVec) error {
 				return nil
 			})
 		} else {
-			err = storage.ReadBlocksVec(t.pool.data, e.phys, sub)
+			err = storage.ReadBlocksVecFlight(t.pool.data, fid, e.phys, sub)
 		}
 		if err != nil {
 			st.mu.RUnlock()
@@ -261,6 +317,18 @@ const writeAttempts = 4
 const maxSpaceWaits = 4
 
 func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
+	return t.writeBlocksVecF(0, start, v)
+}
+
+// writeBlocksVecF is WriteBlocksVec with flight-id plumbing. Stage order
+// per request: provision events (one per hole, from inside allocate) fire
+// on the provisioning pass; map-resolve is recorded exactly once, on the
+// final fully-mapped walk immediately before the transfer — never on a
+// hole-finding walk — so a fresh single-block write traces as
+// [provision, map-resolve, devop], byte-identical to the lifecycle a
+// dummy-write noise block emits (the trace-deniability invariant).
+func (t *Thin) writeBlocksVecF(fid, start uint64, v storage.BlockVec) error {
+	fid = t.pool.flightID(fid)
 	t.pool.mutators.Add(1)
 	defer t.pool.mutators.Add(-1)
 	var extArr [16]extent
@@ -307,13 +375,13 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 			if exclusive {
 				// Guaranteed-progress path: provision and re-resolve
 				// under the same exclusive acquisition.
-				err = t.provisionHolesLocked(tm, st, holes, &fresh)
+				err = t.provisionHolesLocked(tm, st, holes, &fresh, fid)
 			} else {
 				// Stage dummy-write noise first: the stage is a leaf lock,
 				// safe under the shared pool lock, and keeps keystream
 				// generation out of the stripe critical section.
 				t.pool.stageNoise()
-				err = t.provisionHolesShared(tm, st, holes, &fresh)
+				err = t.provisionHolesShared(tm, st, holes, &fresh, fid)
 			}
 			if err != nil {
 				unlock()
@@ -350,8 +418,13 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 				exts = appendRun(exts, pb, false)
 			})
 		}
+		if fid != 0 {
+			// The range is fully mapped now — this walk is the one the
+			// transfer serves, so it is the one the trace records.
+			t.pool.flight.Record(fid, obs.StageMapResolve, obs.FOpWrite, uint32(n), obs.ClassNone, 0)
+		}
 		meter := t.pool.opts.Meter
-		done, werr := t.writeExtentsLocked(v, exts)
+		done, werr := t.writeExtentsLocked(fid, v, exts)
 		st.mu.RUnlock()
 		unlock()
 		if werr != nil {
@@ -393,9 +466,21 @@ func (t *Thin) WriteBlocksVec(start uint64, v storage.BlockVec) error {
 // placement is surrendered, an allocation or transfer failure leaves the
 // vblock unmapped (reading zeros) rather than restoring the old data.
 func (t *Thin) ReplaceBlock(idx uint64, src []byte) error {
+	return t.ReplaceBlockFlight(0, idx, src)
+}
+
+// ReplaceBlockFlight is ReplaceBlock with flight-id plumbing: the replace
+// stage marks the reallocate-on-write discipline in the trace, followed by
+// the fresh provision, the resolve of the new placement, and the leaf
+// devop.
+func (t *Thin) ReplaceBlockFlight(fid, idx uint64, src []byte) error {
 	p := t.pool
 	if len(src) != p.data.BlockSize() {
 		return storage.ErrBadBuffer
+	}
+	fid = p.flightID(fid)
+	if fid != 0 {
+		p.flight.Record(fid, obs.StageReplace, obs.FOpWrite, 1, obs.ClassNone, 0)
 	}
 	p.mutators.Add(1)
 	defer p.mutators.Add(-1)
@@ -433,10 +518,10 @@ func (t *Thin) ReplaceBlock(idx uint64, src []byte) error {
 		holes[0] = idx
 		fresh = fresh[:0]
 		if exclusive {
-			err = t.provisionHolesLocked(tm, st, holes, &fresh)
+			err = t.provisionHolesLocked(tm, st, holes, &fresh, fid)
 		} else {
 			t.pool.stageNoise()
-			err = t.provisionHolesShared(tm, st, holes, &fresh)
+			err = t.provisionHolesShared(tm, st, holes, &fresh, fid)
 		}
 		if err != nil {
 			unlock()
@@ -464,8 +549,11 @@ func (t *Thin) ReplaceBlock(idx uint64, src []byte) error {
 			unlock()
 			continue
 		}
+		if fid != 0 {
+			p.flight.Record(fid, obs.StageMapResolve, obs.FOpWrite, 1, obs.ClassNone, 0)
+		}
 		meter := p.opts.Meter
-		werr := p.data.WriteBlock(pb, src)
+		werr := storage.WriteBlockFlight(p.data, fid, pb, src)
 		st.mu.RUnlock()
 		unlock()
 		if werr != nil {
@@ -489,9 +577,9 @@ func (t *Thin) ReplaceBlock(idx uint64, src []byte) error {
 // already performed stay — they are real, durable noise.) Caller holds the
 // pool lock shared and no stripe lock; mode-ladder consequences (ErrNoSpace,
 // recovery) are the caller's to apply after dropping the read lock.
-func (t *Thin) provisionHolesShared(tm *thinMeta, st *mapStripe, holes []uint64, fresh *[]uint64) error {
+func (t *Thin) provisionHolesShared(tm *thinMeta, st *mapStripe, holes []uint64, fresh *[]uint64, fid uint64) error {
 	for _, vb := range holes {
-		provisioned, err := t.pool.provisionVB(tm, st, vb, int(t.aff.Load()), false)
+		provisioned, err := t.pool.provisionVB(tm, st, vb, int(t.aff.Load()), false, fid)
 		if err != nil {
 			st.mu.Lock()
 			for _, f := range *fresh {
@@ -511,9 +599,9 @@ func (t *Thin) provisionHolesShared(tm *thinMeta, st *mapStripe, holes []uint64,
 // same contract, but the caller holds the pool lock exclusively, so mode
 // transitions (OutOfDataSpace entry, recovery after an unwind) happen in
 // place.
-func (t *Thin) provisionHolesLocked(tm *thinMeta, st *mapStripe, holes []uint64, fresh *[]uint64) error {
+func (t *Thin) provisionHolesLocked(tm *thinMeta, st *mapStripe, holes []uint64, fresh *[]uint64, fid uint64) error {
 	for _, vb := range holes {
-		provisioned, err := t.pool.provisionVB(tm, st, vb, int(t.aff.Load()), true)
+		provisioned, err := t.pool.provisionVB(tm, st, vb, int(t.aff.Load()), true, fid)
 		if err != nil {
 			st.mu.Lock()
 			for _, f := range *fresh {
@@ -535,11 +623,11 @@ func (t *Thin) provisionHolesLocked(tm *thinMeta, st *mapStripe, holes []uint64,
 // how many blocks landed. Caller holds the pool lock (shared or
 // exclusive) across the call — that is the point: the mappings the
 // extents were resolved from cannot change while the data is in flight.
-func (t *Thin) writeExtentsLocked(v storage.BlockVec, exts []extent) (uint64, error) {
+func (t *Thin) writeExtentsLocked(fid uint64, v storage.BlockVec, exts []extent) (uint64, error) {
 	off := 0
 	done := uint64(0) // blocks whose data reached the device
 	for _, e := range exts {
-		werr := storage.WriteBlocksVec(t.pool.data, e.phys, v.Slice(off, e.count))
+		werr := storage.WriteBlocksVecFlight(t.pool.data, fid, e.phys, v.Slice(off, e.count))
 		if werr != nil {
 			var pe *storage.PartialError
 			if errors.As(werr, &pe) {
@@ -587,6 +675,15 @@ func (t *Thin) Discard(idx uint64) error {
 // canonical discard-then-rewrite cycle stays parallel end to end.
 // Unprovisioned blocks in the range are no-ops.
 func (t *Thin) DiscardRange(start, count uint64) error {
+	return t.DiscardFlight(0, start, count)
+}
+
+// DiscardFlight implements storage.FlightDiscarder. The discard itself
+// records no thinp stage — the unmap mutates metadata only, and the I/O
+// scheduler above already records the request's D/C lifecycle — but the
+// id is accepted so a traced discard traverses the same code path as an
+// untraced one.
+func (t *Thin) DiscardFlight(_, start, count uint64) error {
 	p := t.pool
 	p.mutators.Add(1)
 	defer p.mutators.Add(-1)
@@ -634,10 +731,19 @@ func (t *Thin) DiscardRange(start, count uint64) error {
 // Sync implements storage.Device: flushes the data device and commits pool
 // metadata, matching dm-thin's REQ_FLUSH handling.
 func (t *Thin) Sync() error {
-	if err := t.pool.data.Sync(); err != nil {
+	return t.SyncFlight(0)
+}
+
+// SyncFlight implements storage.FlightSyncer: the data flush records a
+// leaf devop under the request's id, and the metadata commit records the
+// commit-join/commit-flip pair — so a traced Flush shows exactly which
+// group-commit round absorbed it and how long the door held.
+func (t *Thin) SyncFlight(fid uint64) error {
+	fid = t.pool.flightID(fid)
+	if err := storage.SyncFlight(t.pool.data, fid); err != nil {
 		return err
 	}
-	return t.pool.Commit()
+	return t.pool.CommitFlight(fid)
 }
 
 // Close implements storage.Device. Thin views are cheap handles; closing

@@ -108,3 +108,87 @@ func (d *CostDevice) Sync() error { return d.inner.Sync() }
 
 // Close implements storage.Device.
 func (d *CostDevice) Close() error { return d.inner.Close() }
+
+// Flight twins: forward the request id to the inner device with charging
+// identical to the plain paths, so enabling the flight recorder cannot
+// perturb the `*_virt` reproduction metrics by a single charge.
+
+var (
+	_ storage.FlightBlockDevice = (*CostDevice)(nil)
+	_ storage.FlightRangeDevice = (*CostDevice)(nil)
+	_ storage.FlightVecDevice   = (*CostDevice)(nil)
+	_ storage.FlightSyncer      = (*CostDevice)(nil)
+)
+
+// ReadBlockFlight implements storage.FlightBlockDevice.
+func (d *CostDevice) ReadBlockFlight(fid, idx uint64, dst []byte) error {
+	if err := storage.ReadBlockFlight(d.inner, fid, idx, dst); err != nil {
+		return err
+	}
+	d.meter.ChargeRead(idx, len(dst))
+	return nil
+}
+
+// WriteBlockFlight implements storage.FlightBlockDevice.
+func (d *CostDevice) WriteBlockFlight(fid, idx uint64, src []byte) error {
+	if err := storage.WriteBlockFlight(d.inner, fid, idx, src); err != nil {
+		return err
+	}
+	d.meter.ChargeWrite(idx, len(src))
+	return nil
+}
+
+// ReadBlocksFlight implements storage.FlightRangeDevice.
+func (d *CostDevice) ReadBlocksFlight(fid, start uint64, dst []byte) error {
+	if err := storage.ReadBlocksFlight(d.inner, fid, start, dst); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	for i := 0; i*bs < len(dst); i++ {
+		d.meter.ChargeRead(start+uint64(i), bs)
+	}
+	return nil
+}
+
+// WriteBlocksFlight implements storage.FlightRangeDevice.
+func (d *CostDevice) WriteBlocksFlight(fid, start uint64, src []byte) error {
+	if err := storage.WriteBlocksFlight(d.inner, fid, start, src); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	for i := 0; i*bs < len(src); i++ {
+		d.meter.ChargeWrite(start+uint64(i), bs)
+	}
+	return nil
+}
+
+// ReadBlocksVecFlight implements storage.FlightVecDevice.
+func (d *CostDevice) ReadBlocksVecFlight(fid, start uint64, v storage.BlockVec) error {
+	if err := storage.ReadBlocksVecFlight(d.inner, fid, start, v); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		d.meter.ChargeRead(start+uint64(i), bs)
+	}
+	return nil
+}
+
+// WriteBlocksVecFlight implements storage.FlightVecDevice.
+func (d *CostDevice) WriteBlocksVecFlight(fid, start uint64, v storage.BlockVec) error {
+	if err := storage.WriteBlocksVecFlight(d.inner, fid, start, v); err != nil {
+		return err
+	}
+	bs := d.inner.BlockSize()
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		d.meter.ChargeWrite(start+uint64(i), bs)
+	}
+	return nil
+}
+
+// SyncFlight implements storage.FlightSyncer.
+func (d *CostDevice) SyncFlight(fid uint64) error {
+	return storage.SyncFlight(d.inner, fid)
+}

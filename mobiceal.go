@@ -27,12 +27,14 @@ package mobiceal
 
 import (
 	"fmt"
+	"io"
 
 	"mobiceal/internal/adversary"
 	"mobiceal/internal/android"
 	"mobiceal/internal/core"
 	"mobiceal/internal/ioq"
 	"mobiceal/internal/minifs"
+	"mobiceal/internal/obs"
 	"mobiceal/internal/storage"
 	"mobiceal/internal/thinp"
 	"mobiceal/internal/vclock"
@@ -93,7 +95,34 @@ type (
 	FlakyDevice = storage.FlakyDevice
 	// FlakyOptions seeds and rates a FlakyDevice.
 	FlakyOptions = storage.FlakyOptions
+	// FlightRecorder is the system's request-lifecycle flight recorder: a
+	// bounded, memory-only ring of blktrace-style causal events (Q/G/M/D/C
+	// plus the thin-pool stages). Obtain it with System.FlightRecorder();
+	// it starts disabled and costs one atomic load per choke point while
+	// off. Event payloads are deniability-safe: stage, op kind, block
+	// count, error class — never block addresses or volume identities.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one decoded lifecycle event from the flight recorder.
+	FlightEvent = obs.FlightEvent
+	// TraceReport is AnalyzeTrace's btt-style analysis of an event window:
+	// Q2D/D2C/Q2C per op kind, queue-depth and in-flight timelines, merge
+	// chains and commit-round attribution.
+	TraceReport = obs.TraceReport
 )
+
+// AnalyzeTrace runs the btt-style offline analysis over a flight-recorder
+// event window (live snapshot or JSONL replay).
+func AnalyzeTrace(events []FlightEvent) *TraceReport { return obs.Analyze(events) }
+
+// ReadTraceJSONL parses a JSONL event stream written by
+// FlightRecorder.WriteJSONL (the `mobiceal trace -jsonl` export format).
+func ReadTraceJSONL(r io.Reader) ([]FlightEvent, error) { return obs.ReadJSONL(r) }
+
+// WritePrometheus renders a telemetry snapshot in Prometheus text
+// exposition format (hand-rendered, standard library only). The metric
+// set is the Telemetry surface re-keyed for scraping — deniability-safe
+// like the snapshot itself: no volume, hidden, dummy or real labels.
+func WritePrometheus(w io.Writer, t Telemetry) error { return core.WritePrometheus(w, t) }
 
 // Pool health modes (see System.Health).
 const (
