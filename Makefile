@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 mutexprofile fault-soak
+.PHONY: test race bench-smoke bench-json bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 mutexprofile fault-soak
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -51,6 +51,13 @@ bench-pr8:
 # 0fa7cb8) to also run the pre-PR pair (see BENCH_PR9.json).
 bench-pr9:
 	./cmd/experiments/bench_pr9.sh
+
+# Real-storage fast-path benchmark set: queue writers/readers and the
+# full-stack writer A/B over mem / buffered file / O_DIRECT backends and
+# dispatch-window sizes. inflight=1 is the serialized baseline — no
+# worktree needed (see BENCH_PR10.json).
+bench-pr10:
+	./cmd/experiments/bench_pr10.sh
 
 # Contention triage: the writer-scaling sweep with mutex profiling; the
 # profile lands in /tmp/mutex.out for `go tool pprof`.

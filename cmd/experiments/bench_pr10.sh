@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench_pr10.sh — run the PR 10 real-storage fast-path sweep and emit the
+# results as JSON on stdout (the format committed in BENCH_PR10.json).
+#
+#   ./cmd/experiments/bench_pr10.sh > /tmp/bench.json
+#   BENCHTIME=100x ./cmd/experiments/bench_pr10.sh      # quicker smoke run
+#
+# Three benchmarks, each an A/B over backend (mem / buffered file /
+# O_DIRECT file) and the dispatch window (inflight=1 is the pre-window
+# serialized dispatcher, bit-for-bit — no baseline worktree is needed, the
+# serialized path IS the baseline):
+#
+#   BenchmarkFileQueueWriters — scheduler straight over the device, N
+#     writers each submitting one disjoint 32 KiB chunk per iteration.
+#   BenchmarkFileQueueReaders — the read side; on hosts where direct
+#     writes serialize in the kernel this is where the window shows.
+#   BenchmarkFileSystemWriters — the same A/B through the whole stack
+#     (Setup, open volume, encryption, thin pool).
+#
+# The direct backend subbenches skip cleanly where the filesystem refuses
+# O_DIRECT (tmpfs TMPDIR, non-Linux). GOMAXPROCS defaults to 4: the window
+# needs free Ps to overlap blocking preadv/pwritev calls — at GOMAXPROCS=1
+# the Go runtime serializes the in-flight runs before the kernel sees them
+# (see the note atop filebacked_bench_test.go).
+set -e
+cd "$(dirname "$0")/../.."
+
+BENCHTIME="${BENCHTIME:-300x}"
+GOMAXPROCS="${GOMAXPROCS:-4}"
+export GOMAXPROCS
+
+go test -run XXX \
+	-bench 'BenchmarkFileQueueWriters|BenchmarkFileQueueReaders|BenchmarkFileSystemWriters' \
+	-benchtime "$BENCHTIME" . | go run ./cmd/experiments/benchjson

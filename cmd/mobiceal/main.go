@@ -26,6 +26,14 @@
 //
 //	mobiceal -debug-addr localhost:6060 status -image disk.img
 //	curl http://localhost:6060/debug/vars   # includes the telemetry snapshot
+//
+// Two more global flags select the real-storage fast path: -direct opens
+// the image O_DIRECT (Linux file systems that support it; tmpfs and
+// non-Linux builds report a clean error), and -inflight N lets each
+// volume queue keep up to N non-overlapping coalesced runs at the device
+// at once (default 1 = serial dispatch):
+//
+//	mobiceal -direct -inflight 4 put -image disk.img -pass PW -name f -from f
 package main
 
 import (
@@ -41,6 +49,38 @@ import (
 
 const blockSize = 4096
 
+// Global storage-path knobs, set by run() before the subcommand runs.
+// Every image open and every mobiceal.Open goes through openImageCLI /
+// createImageCLI / cliConfig so the flags apply uniformly.
+var (
+	directMode  bool
+	maxInFlight int
+)
+
+// openImageCLI opens an existing image honouring the global -direct flag.
+func openImageCLI(path string) (mobiceal.Device, error) {
+	dev, err := mobiceal.OpenImageWith(path, blockSize, mobiceal.FileOptions{Direct: directMode})
+	if err != nil && errors.Is(err, mobiceal.ErrDirectUnsupported) {
+		return nil, fmt.Errorf("open %s: %w (drop -direct or move the image off tmpfs)", path, err)
+	}
+	return dev, err
+}
+
+// createImageCLI creates a fresh image honouring the global -direct flag.
+func createImageCLI(path string, numBlocks uint64) (mobiceal.Device, error) {
+	dev, err := mobiceal.CreateImageWith(path, blockSize, numBlocks, mobiceal.FileOptions{Direct: directMode})
+	if err != nil && errors.Is(err, mobiceal.ErrDirectUnsupported) {
+		return nil, fmt.Errorf("create %s: %w (drop -direct or move the image off tmpfs)", path, err)
+	}
+	return dev, err
+}
+
+// cliConfig overlays the global -inflight flag on a per-command Config.
+func cliConfig(cfg mobiceal.Config) mobiceal.Config {
+	cfg.MaxInFlight = maxInFlight
+	return cfg
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mobiceal:", err)
@@ -54,12 +94,16 @@ func run(args []string) error {
 	globals := flag.NewFlagSet("mobiceal", flag.ContinueOnError)
 	debugAddr := globals.String("debug-addr", "",
 		"serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
+	globals.BoolVar(&directMode, "direct", false,
+		"open the device image with O_DIRECT (page-cache bypass; Linux only)")
+	globals.IntVar(&maxInFlight, "inflight", 0,
+		"per-volume dispatch window: up to N non-overlapping runs in flight (0/1 = serial)")
 	if err := globals.Parse(args); err != nil {
 		return err
 	}
 	args = globals.Args()
 	if len(args) < 1 {
-		return errors.New("usage: mobiceal [-debug-addr ADDR] <init|put|get|ls|rm|gc|snap|check|status|trace> [flags]")
+		return errors.New("usage: mobiceal [-debug-addr ADDR] [-direct] [-inflight N] <init|put|get|ls|rm|gc|snap|check|status|trace> [flags]")
 	}
 	if *debugAddr != "" {
 		if err := startDebugServer(*debugAddr); err != nil {
@@ -104,12 +148,12 @@ func cmdCheck(args []string) error {
 	if *image == "" {
 		return errors.New("check: -image is required")
 	}
-	dev, err := mobiceal.OpenImage(*image, blockSize)
+	dev, err := openImageCLI(*image)
 	if err != nil {
 		return err
 	}
 	defer closeQuiet(dev)
-	sys, err := mobiceal.Open(dev, mobiceal.Config{})
+	sys, err := mobiceal.Open(dev, cliConfig(mobiceal.Config{}))
 	if err != nil {
 		return err
 	}
@@ -144,7 +188,7 @@ func cmdInit(args []string) error {
 	if *image == "" || *decoy == "" {
 		return errors.New("init: -image and -decoy are required")
 	}
-	dev, err := mobiceal.CreateImage(*image, blockSize, uint64(*mb)<<20/blockSize)
+	dev, err := createImageCLI(*image, uint64(*mb)<<20/blockSize)
 	if err != nil {
 		return err
 	}
@@ -153,7 +197,7 @@ func cmdInit(args []string) error {
 	if *hidden != "" {
 		hiddenPwds = strings.Split(*hidden, ",")
 	}
-	sys, err := mobiceal.Setup(dev, mobiceal.Config{NumVolumes: *volumes}, *decoy, hiddenPwds)
+	sys, err := mobiceal.Setup(dev, cliConfig(mobiceal.Config{NumVolumes: *volumes}), *decoy, hiddenPwds)
 	if err != nil {
 		return err
 	}
@@ -184,11 +228,11 @@ func cmdInit(args []string) error {
 // openVolume opens the image and mounts whichever volume the password
 // unlocks: public (probe mount) first, then hidden (verifier).
 func openVolume(image, password string) (*mobiceal.System, *mobiceal.Volume, *mobiceal.FS, error) {
-	dev, err := mobiceal.OpenImage(image, blockSize)
+	dev, err := openImageCLI(image)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sys, err := mobiceal.Open(dev, mobiceal.Config{})
+	sys, err := mobiceal.Open(dev, cliConfig(mobiceal.Config{}))
 	if err != nil {
 		closeQuiet(dev)
 		return nil, nil, nil, err
@@ -340,12 +384,12 @@ func cmdGC(args []string) error {
 	if *image == "" {
 		return errors.New("gc: -image is required")
 	}
-	dev, err := mobiceal.OpenImage(*image, blockSize)
+	dev, err := openImageCLI(*image)
 	if err != nil {
 		return err
 	}
 	defer closeQuiet(dev)
-	sys, err := mobiceal.Open(dev, mobiceal.Config{})
+	sys, err := mobiceal.Open(dev, cliConfig(mobiceal.Config{}))
 	if err != nil {
 		return err
 	}

@@ -113,12 +113,12 @@ func cmdStatus(args []string) error {
 	if *image == "" {
 		return errors.New("status: -image is required")
 	}
-	dev, err := mobiceal.OpenImage(*image, blockSize)
+	dev, err := openImageCLI(*image)
 	if err != nil {
 		return err
 	}
 	defer closeQuiet(dev)
-	sys, err := mobiceal.Open(dev, mobiceal.Config{})
+	sys, err := mobiceal.Open(dev, cliConfig(mobiceal.Config{}))
 	if err != nil {
 		return err
 	}

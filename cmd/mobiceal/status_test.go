@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mobiceal"
 )
 
 // initTestImage creates a small initialized image and returns its path.
@@ -143,5 +146,39 @@ func TestCLIDebugEndpoints(t *testing.T) {
 	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+}
+
+// TestCLIGlobalStorageFlags: the global -inflight flag reaches the
+// scheduler (the status one-liner grows the window fragment) and the file
+// syscall accounting shows for the CLI's file-backed image; -direct either
+// opens the image O_DIRECT or fails with the clean unsupported error,
+// never a raw errno.
+func TestCLIGlobalStorageFlags(t *testing.T) {
+	image := initTestImage(t)
+	out := captureStdout(t, func() error {
+		return run([]string{"-inflight", "4", "status", "-image", image})
+	})
+	if !strings.Contains(out, " win 0/4") {
+		t.Fatalf("status with -inflight 4 missing window fragment: %q", out)
+	}
+	if !strings.Contains(out, " file buffered preadv ") {
+		t.Fatalf("status on a file image missing syscall fragment: %q", out)
+	}
+	// Without the flag the serial default stays window-free.
+	out = captureStdout(t, func() error {
+		return run([]string{"status", "-image", image})
+	})
+	if strings.Contains(out, " win ") {
+		t.Fatalf("serial status grew a window fragment: %q", out)
+	}
+
+	if err := run([]string{"-direct", "check", "-image", image}); err != nil {
+		if !errors.Is(err, mobiceal.ErrDirectUnsupported) {
+			t.Fatalf("-direct check failed with a raw error: %v", err)
+		}
+		if !strings.Contains(err.Error(), "drop -direct") {
+			t.Fatalf("-direct failure lacks the remediation hint: %v", err)
+		}
 	}
 }

@@ -115,12 +115,12 @@ func scrapeEvents(from string) ([]mobiceal.FlightEvent, error) {
 // system's metadata at the head — but they are real raw-block writes:
 // anything stored in those blocks is overwritten. Use a scratch image.
 func workloadEvents(image, pass string, ops int) ([]mobiceal.FlightEvent, error) {
-	dev, err := mobiceal.OpenImage(image, blockSize)
+	dev, err := openImageCLI(image)
 	if err != nil {
 		return nil, err
 	}
 	defer closeQuiet(dev)
-	sys, err := mobiceal.Open(dev, mobiceal.Config{})
+	sys, err := mobiceal.Open(dev, cliConfig(mobiceal.Config{}))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,159 @@
+package mobiceal_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mobiceal"
+)
+
+// fileConfig is testConfig with the dispatch window opened — the
+// real-storage fast-path configuration.
+func fileConfig(seed uint64, inflight int) mobiceal.Config {
+	cfg := testConfig(seed)
+	cfg.MaxInFlight = inflight
+	return cfg
+}
+
+// TestFileBackedSystem runs the full stack — Setup, public and hidden
+// volumes, concurrent async writers, FlushAll, close, reopen — over a real
+// file-backed image with a parallel dispatch window, and checks both
+// durability across the reopen and the file-syscall telemetry surface.
+func TestFileBackedSystem(t *testing.T) {
+	runFileBackedSystem(t, mobiceal.FileOptions{})
+}
+
+// TestFileBackedSystemDirect is the same lifecycle under O_DIRECT,
+// skipping where the filesystem refuses it (tmpfs TMPDIR, non-Linux).
+func TestFileBackedSystemDirect(t *testing.T) {
+	runFileBackedSystem(t, mobiceal.FileOptions{Direct: true})
+}
+
+func runFileBackedSystem(t *testing.T, fopts mobiceal.FileOptions) {
+	const (
+		blockSize = 4096
+		numBlocks = 4096
+		inflight  = 4
+		writers   = 3
+		opsEach   = 24
+	)
+	path := filepath.Join(t.TempDir(), "disk.img")
+	dev, err := mobiceal.CreateImageWith(path, blockSize, numBlocks, fopts)
+	if errors.Is(err, mobiceal.ErrDirectUnsupported) {
+		t.Skipf("direct I/O unavailable here: %v", err)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := mobiceal.Setup(dev, fileConfig(99, inflight), "decoy", []string{"hush"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := sys.OpenPublic("decoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hid, err := sys.OpenHidden("hush")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent async writers on both volumes: disjoint per-writer block
+	// regions near the volume tails, submitted without waiting so the
+	// windowed queues actually fill.
+	vols := []*mobiceal.Volume{pub, hid}
+	payload := func(vol, writer, op int) []byte {
+		buf := make([]byte, blockSize)
+		for i := range buf {
+			buf[i] = byte(vol*91 + writer*37 + op*13 + i)
+		}
+		return buf
+	}
+	base := pub.Device().NumBlocks() - uint64(writers*opsEach) - 8
+	var wg sync.WaitGroup
+	errc := make(chan error, writers*len(vols))
+	for vi, vol := range vols {
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(vi, w int, vol *mobiceal.Volume) {
+				defer wg.Done()
+				var futs []*mobiceal.Future
+				for op := 0; op < opsEach; op++ {
+					off := base + uint64(w*opsEach+op)
+					futs = append(futs, vol.SubmitWrite(off, payload(vi, w, op)))
+				}
+				errc <- mobiceal.WaitAll(futs...)
+			}(vi, w, vol)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatalf("async writer: %v", err)
+		}
+	}
+	if err := sys.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The telemetry surface must report the file backend, live.
+	tel := sys.Telemetry()
+	if tel.File == nil {
+		t.Fatal("file-backed system reports no file syscall telemetry")
+	}
+	if tel.File.PwritevCalls == 0 {
+		t.Fatal("workload issued no vectored writes")
+	}
+	if tel.File.Direct != fopts.Direct {
+		t.Fatalf("telemetry direct = %v, want %v", tel.File.Direct, fopts.Direct)
+	}
+	if tel.IO.WindowMax != inflight {
+		t.Fatalf("telemetry WindowMax = %d, want %d", tel.IO.WindowMax, inflight)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk: everything written before FlushAll must be there,
+	// in both volumes.
+	dev2, err := mobiceal.OpenImageWith(path, blockSize, fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	sys2, err := mobiceal.Open(dev2, fileConfig(99, inflight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	pub2, err := sys2.OpenPublic("decoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hid2, err := sys2.OpenHidden("hush")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi, vol := range []*mobiceal.Volume{pub2, hid2} {
+		for w := 0; w < writers; w++ {
+			for op := 0; op < opsEach; op++ {
+				off := base + uint64(w*opsEach+op)
+				got := make([]byte, blockSize)
+				if err := vol.SubmitRead(off, got).Wait(); err != nil {
+					t.Fatalf("vol %d reopen read %d: %v", vi, off, err)
+				}
+				if !bytes.Equal(got, payload(vi, w, op)) {
+					t.Fatalf("vol %d block %d lost or corrupted across reopen", vi, off)
+				}
+			}
+		}
+	}
+}

@@ -56,6 +56,9 @@ func WritePrometheus(w io.Writer, t Telemetry) error {
 	pw.counter("mobiceal_io_completed_total", "Requests completed by the scheduler.", float64(t.IO.Completed))
 	pw.gauge("mobiceal_io_queue_depth", "Requests waiting in submission queues.", float64(t.IO.QueueDepth))
 	pw.gauge("mobiceal_io_in_flight", "Requests at the device right now.", float64(t.IO.InFlight))
+	pw.gauge("mobiceal_io_window_max", "Per-queue dispatch window size (1 = serial dispatch).", float64(t.IO.WindowMax))
+	pw.gauge("mobiceal_io_window_occupancy", "Coalesced runs executing inside dispatch windows.", float64(t.IO.WindowOccupancy))
+	pw.counter("mobiceal_io_window_stalls_total", "Run submissions that waited for a window slot or an overlapping extent.", float64(t.IO.WindowStalls))
 	pw.counter("mobiceal_io_retries_total", "Transient-fault retries fired.", float64(t.IO.Retries))
 	pw.counter("mobiceal_io_failures_total", "Requests failed hard.", float64(t.IO.Failures))
 	pw.histogram("mobiceal_io_queue_latency_seconds", "Submit-to-dispatch latency.", t.IO.QueueLat)
@@ -64,6 +67,21 @@ func WritePrometheus(w io.Writer, t Telemetry) error {
 
 	pw.devMetrics("data", t.Data)
 	pw.devMetrics("meta", t.Meta)
+
+	if f := t.File; f != nil {
+		direct := 0.0
+		if f.Direct {
+			direct = 1
+		}
+		pw.gauge("mobiceal_file_direct_mode", "1 when the image is open O_DIRECT, 0 buffered.", direct)
+		pw.counter("mobiceal_file_preadv_total", "Vectored read syscalls issued to the image.", float64(f.PreadvCalls))
+		pw.counter("mobiceal_file_pwritev_total", "Vectored write syscalls issued to the image.", float64(f.PwritevCalls))
+		pw.counter("mobiceal_file_read_segs_total", "Segments carried by vectored reads.", float64(f.ReadSegs))
+		pw.counter("mobiceal_file_write_segs_total", "Segments carried by vectored writes.", float64(f.WriteSegs))
+		pw.counter("mobiceal_file_eintr_retries_total", "Transfers re-issued after EINTR.", float64(f.EintrRetries))
+		pw.counter("mobiceal_file_short_transfers_total", "Transfers continued after a short count.", float64(f.ShortTransfers))
+		pw.counter("mobiceal_file_bounce_copies_total", "Direct-mode transfers bounced through the aligned pool.", float64(f.BounceCopies))
+	}
 	return pw.err
 }
 

@@ -37,6 +37,14 @@ type Telemetry struct {
 
 	Data storage.DeviceSnapshot `json:"data"`
 	Meta storage.DeviceSnapshot `json:"meta"`
+
+	// File is the base device's syscall accounting, present only when the
+	// system sits on a backend that reports one (a FileDevice): vectored
+	// transfer calls, segments per call, retry-loop interventions, and the
+	// direct-mode flag. Like everything else here it is aggregate per
+	// device — one file serves every volume, so the numbers attribute
+	// nothing.
+	File *storage.FileSyscalls `json:"file,omitempty"`
 }
 
 // Telemetry snapshots the system's observability surface. Counters are
@@ -44,7 +52,7 @@ type Telemetry struct {
 // the operations in flight.
 func (s *System) Telemetry() Telemetry {
 	mode, reason := s.pool.Status()
-	return Telemetry{
+	t := Telemetry{
 		Mode:            mode.String(),
 		Reason:          reason,
 		TxID:            s.pool.TransactionID(),
@@ -55,6 +63,11 @@ func (s *System) Telemetry() Telemetry {
 		Data:            s.dataStats.Metrics().Snapshot(),
 		Meta:            s.metaStats.Metrics().Snapshot(),
 	}
+	if rep, ok := s.dev.(storage.SyscallReporter); ok {
+		sc := rep.Syscalls()
+		t.File = &sc
+	}
+	return t
 }
 
 // String renders the snapshot as a dm-thin-`status`-style one-liner:
@@ -83,9 +96,20 @@ func (t Telemetry) String() string {
 	fmt.Fprintf(&b, " io sub %d done %d qd %d inflight %d merge %.2f fail %d",
 		t.IO.Submitted, t.IO.Completed, t.IO.QueueDepth, t.IO.InFlight,
 		t.IO.MergeRatio(), t.IO.Failures)
+	if t.IO.WindowMax > 1 {
+		fmt.Fprintf(&b, " win %d/%d", t.IO.WindowOccupancy, t.IO.WindowMax)
+	}
 	fmt.Fprintf(&b, " dev w %d/%d", t.Data.WriteBlocks, t.Data.BytesWrite)
 	if s := t.ShardSummary(); s != "" {
 		fmt.Fprintf(&b, " %s", s)
+	}
+	if f := t.File; f != nil {
+		mode := "buffered"
+		if f.Direct {
+			mode = "direct"
+		}
+		fmt.Fprintf(&b, " file %s preadv %d/%d pwritev %d/%d",
+			mode, f.PreadvCalls, f.ReadSegs, f.PwritevCalls, f.WriteSegs)
 	}
 	return b.String()
 }

@@ -103,6 +103,17 @@ type Options struct {
 	// MergeBlocks caps the size, in blocks, of one coalesced device
 	// operation. Default 128.
 	MergeBlocks int
+	// MaxInFlight bounds each queue's dispatch window: how many coalesced
+	// runs of one volume may execute against the device concurrently.
+	// Default 1 — runs execute one at a time, the pre-window behaviour.
+	// With MaxInFlight > 1, non-overlapping runs of a batch dispatch in
+	// parallel (overlapping extents stay ordered, barriers still drain
+	// the whole window), which is what lets queue depth actually reach a
+	// real device: a file backend serving one run at a time is QD=1 no
+	// matter how well the elevator merged. Worth raising only on backends
+	// with real concurrency (a FileDevice, especially in direct mode);
+	// on MemDevice it just adds goroutine traffic.
+	MaxInFlight int
 	// Retry is the transient-fault retry policy. The zero value enables
 	// the default policy (3 attempts, 500µs base, 10ms cap); set
 	// MaxAttempts negative to disable retry.
@@ -127,6 +138,9 @@ func (o *Options) fill() {
 	}
 	if o.MergeBlocks <= 0 {
 		o.MergeBlocks = 128
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 1
 	}
 	o.Retry.fill()
 }
@@ -210,6 +224,9 @@ func NewScheduler(opts Options) *Scheduler {
 func (s *Scheduler) Register(dev storage.Device) *VolumeQueue {
 	s.mu.Lock()
 	q := &VolumeQueue{s: s, dev: dev, index: len(s.queues)}
+	if s.opts.MaxInFlight > 1 {
+		q.win = newDispatchWindow(s.opts.MaxInFlight, &s.m)
+	}
 	s.queues = append(s.queues, q)
 	s.mu.Unlock()
 	return q

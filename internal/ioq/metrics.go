@@ -27,6 +27,14 @@ type Metrics struct {
 	QueueDepth obs.Gauge
 	InFlight   obs.Gauge
 
+	// WindowOccupancy is the number of coalesced runs currently executing
+	// inside dispatch windows across all queues (0 everywhere when
+	// MaxInFlight is 1 — no windows exist). WindowStalls counts run
+	// submissions that had to wait for a slot or for an overlapping
+	// in-flight extent to clear.
+	WindowOccupancy obs.Gauge
+	WindowStalls    obs.Counter
+
 	// QueueLat spans submit→dispatch, ServiceLat dispatch→complete,
 	// TotalLat submit→complete. Requests that die before dispatch (queue
 	// purge on close, barrier poisoning) appear in no histogram — latency
@@ -56,6 +64,12 @@ type MetricsSnapshot struct {
 	QueueDepth int64 `json:"queue_depth"`
 	InFlight   int64 `json:"in_flight"`
 
+	// WindowMax echoes Options.MaxInFlight (1 = serial dispatch, no
+	// windows); occupancy and stalls are live only when it exceeds 1.
+	WindowMax       int64  `json:"window_max"`
+	WindowOccupancy int64  `json:"window_occupancy"`
+	WindowStalls    uint64 `json:"window_stalls"`
+
 	QueueLat   obs.HistSnapshot `json:"queue_lat"`
 	ServiceLat obs.HistSnapshot `json:"service_lat"`
 	TotalLat   obs.HistSnapshot `json:"total_lat"`
@@ -83,21 +97,24 @@ func (s *Scheduler) Metrics() *Metrics { return &s.m }
 func (s *Scheduler) MetricsSnapshot() MetricsSnapshot {
 	m := &s.m
 	return MetricsSnapshot{
-		Submitted:     m.Submitted.Load(),
-		Completed:     m.Completed.Load(),
-		Batches:       m.Batches.Load(),
-		CoalescedOps:  m.CoalescedOps.Load(),
-		CoalescedReqs: m.CoalescedReqs.Load(),
-		QueueDepth:    m.QueueDepth.Load(),
-		InFlight:      m.InFlight.Load(),
-		QueueLat:      m.QueueLat.Snapshot(),
-		ServiceLat:    m.ServiceLat.Snapshot(),
-		TotalLat:      m.TotalLat.Snapshot(),
-		Retries:       m.Retries.Load(),
-		Recovered:     m.Recovered.Load(),
-		Timeouts:      m.Timeouts.Load(),
-		Failures:      m.Failures.Load(),
-		BarrierFails:  m.BarrierFails.Load(),
+		Submitted:       m.Submitted.Load(),
+		Completed:       m.Completed.Load(),
+		Batches:         m.Batches.Load(),
+		CoalescedOps:    m.CoalescedOps.Load(),
+		CoalescedReqs:   m.CoalescedReqs.Load(),
+		QueueDepth:      m.QueueDepth.Load(),
+		InFlight:        m.InFlight.Load(),
+		WindowMax:       int64(s.opts.MaxInFlight),
+		WindowOccupancy: m.WindowOccupancy.Load(),
+		WindowStalls:    m.WindowStalls.Load(),
+		QueueLat:        m.QueueLat.Snapshot(),
+		ServiceLat:      m.ServiceLat.Snapshot(),
+		TotalLat:        m.TotalLat.Snapshot(),
+		Retries:         m.Retries.Load(),
+		Recovered:       m.Recovered.Load(),
+		Timeouts:        m.Timeouts.Load(),
+		Failures:        m.Failures.Load(),
+		BarrierFails:    m.BarrierFails.Load(),
 	}
 }
 

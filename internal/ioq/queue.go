@@ -84,6 +84,11 @@ type VolumeQueue struct {
 	// stack uses as the allocation-shard affinity hint.
 	index int
 
+	// win, when non-nil, is the queue's bounded in-flight dispatch window
+	// (Options.MaxInFlight > 1): coalesced runs execute concurrently
+	// through it instead of one at a time. Set at Register, never mutated.
+	win *dispatchWindow
+
 	mu       sync.Mutex
 	pending  []*request
 	inflight int
@@ -412,18 +417,31 @@ func (q *VolumeQueue) finish(r *request, err error) {
 
 // run elevator-sorts a batch, splits it into runs of adjacent same-kind
 // requests, and executes each run as one coalesced device operation.
+// Without a dispatch window the runs execute one at a time, in elevator
+// order. With one (Options.MaxInFlight > 1) each run is submitted to the
+// window in elevator order and executes in its own goroutine: up to
+// MaxInFlight non-overlapping runs proceed at the device concurrently,
+// while a run overlapping an in-flight extent waits its turn — so
+// overlapping runs keep the serial dispatcher's ordering. run returns
+// only after every run it launched completed, which is what keeps the
+// queue's inflight accounting (and therefore barrier draining) exact:
+// a Flush behind this batch cannot dispatch until the whole window is
+// empty again.
 func (q *VolumeQueue) run(batch []*request) {
-	if len(batch) == 1 {
+	if len(batch) == 1 && q.win == nil {
 		q.exec(batch)
 		return
 	}
 	bs := q.dev.BlockSize()
-	sort.SliceStable(batch, func(i, j int) bool {
-		if batch[i].op != batch[j].op {
-			return batch[i].op < batch[j].op
-		}
-		return batch[i].start < batch[j].start
-	})
+	if len(batch) > 1 {
+		sort.SliceStable(batch, func(i, j int) bool {
+			if batch[i].op != batch[j].op {
+				return batch[i].op < batch[j].op
+			}
+			return batch[i].start < batch[j].start
+		})
+	}
+	var wg sync.WaitGroup
 	for i := 0; i < len(batch); {
 		j := i + 1
 		end := batch[i].start + batch[i].blocks(bs)
@@ -437,9 +455,25 @@ func (q *VolumeQueue) run(batch []*request) {
 			total += batch[j].blocks(bs)
 			j++
 		}
-		q.exec(batch[i:j])
+		run := batch[i:j]
 		i = j
+		if q.win == nil {
+			q.exec(run)
+			continue
+		}
+		// Submission order is elevator order: acquire happens here, in the
+		// loop, so a run overlapping an in-flight one parks the submitter
+		// (and everything behind it) until the earlier run completes.
+		sp := span{start: run[0].start, end: end}
+		q.win.acquire(sp)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer q.win.release(sp)
+			q.exec(run)
+		}()
 	}
+	wg.Wait()
 }
 
 // exec executes one run of adjacent same-kind requests as a single device

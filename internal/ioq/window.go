@@ -1,0 +1,99 @@
+package ioq
+
+import "sync"
+
+// span is the block extent [start, end) one coalesced run covers. Empty
+// spans (end == start: barriers never get here, but zero-length requests
+// do) overlap nothing.
+type span struct{ start, end uint64 }
+
+// overlaps reports whether the two extents share any block. An empty
+// extent holds no block, so it overlaps nothing — without the emptiness
+// guard the half-open interval test would trap an empty span strictly
+// inside a covering one.
+func (s span) overlaps(o span) bool {
+	return s.start < s.end && o.start < o.end &&
+		s.start < o.end && o.start < s.end
+}
+
+// dispatchWindow is a queue's bounded in-flight window — the io_uring-
+// shaped submit/complete split behind Options.MaxInFlight. A worker
+// submits the coalesced runs of a batch in elevator order; each run
+// occupies one slot while its device operation executes, and runs whose
+// extents do not overlap execute concurrently. acquire blocks while the
+// window is full or an in-flight run overlaps the new one, so:
+//
+//   - queue depth at the device is capped at MaxInFlight runs,
+//   - overlapping-extent runs execute in submission order (the later one
+//     cannot enter the window until the earlier one leaves), pairwise —
+//     the ordering the serial dispatcher gave for free,
+//   - and a barrier needs no window knowledge at all: run() returns only
+//     after every run it launched completed, so the existing inflight
+//     accounting drains the whole window before a barrier dispatches.
+//
+// Overlap detection is block-range based and op-blind: two reads of the
+// same extent serialize too. Range comparison is the only test that needs
+// no allocation, no per-block state, and no knowledge of what the layers
+// below will do with the request — and false sharing between reads only
+// costs parallelism on a shape (merged runs re-reading one extent twice
+// in one batch) the elevator sort makes rare.
+//
+// The window is per queue and shared by every worker dispatching batches
+// of that queue, so the cap and the overlap rule hold across concurrent
+// batches as well.
+type dispatchWindow struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	max    int
+	active []span
+
+	m *Metrics
+}
+
+func newDispatchWindow(max int, m *Metrics) *dispatchWindow {
+	w := &dispatchWindow{max: max, active: make([]span, 0, max), m: m}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// acquire blocks until s may enter the window: a slot is free and no
+// in-flight run overlaps it.
+func (w *dispatchWindow) acquire(s span) {
+	w.mu.Lock()
+	stalled := false
+	for len(w.active) >= w.max || w.overlapsActive(s) {
+		stalled = true
+		w.cond.Wait()
+	}
+	w.active = append(w.active, s)
+	w.mu.Unlock()
+	if stalled {
+		w.m.WindowStalls.Inc()
+	}
+	w.m.WindowOccupancy.Inc()
+}
+
+func (w *dispatchWindow) overlapsActive(s span) bool {
+	for _, a := range w.active {
+		if s.overlaps(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// release removes s from the window and wakes every waiter (a freed slot
+// and a cleared extent can unblock different submitters).
+func (w *dispatchWindow) release(s span) {
+	w.mu.Lock()
+	for i := range w.active {
+		if w.active[i] == s {
+			w.active[i] = w.active[len(w.active)-1]
+			w.active = w.active[:len(w.active)-1]
+			break
+		}
+	}
+	w.mu.Unlock()
+	w.m.WindowOccupancy.Dec()
+	w.cond.Broadcast()
+}

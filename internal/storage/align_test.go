@@ -1,0 +1,58 @@
+package storage
+
+import "testing"
+
+func TestAlignedBuf(t *testing.T) {
+	for _, n := range []int{0, 1, 511, DirectAlign - 1, DirectAlign, DirectAlign + 1, 1 << 20} {
+		b := AlignedBuf(n)
+		if len(b) != n {
+			t.Fatalf("AlignedBuf(%d): len %d", n, len(b))
+		}
+		if !IsAligned(b, DirectAlign) {
+			t.Fatalf("AlignedBuf(%d): not %d-aligned", n, DirectAlign)
+		}
+	}
+	// The full-cap bound keeps appends from growing past the aligned
+	// region into neighbors' memory.
+	b := AlignedBuf(8)
+	if cap(b) != 8 {
+		t.Fatalf("AlignedBuf(8): cap %d, want exactly 8", cap(b))
+	}
+}
+
+func TestIsAligned(t *testing.T) {
+	b := AlignedBuf(DirectAlign * 2)
+	if !IsAligned(b, DirectAlign) {
+		t.Fatal("aligned buffer reported misaligned")
+	}
+	if IsAligned(b[1:], DirectAlign) {
+		t.Fatal("one-byte-shifted buffer reported aligned")
+	}
+	if !IsAligned(b[DirectAlign:], DirectAlign) {
+		t.Fatal("page-offset slice reported misaligned")
+	}
+	if !IsAligned(nil, DirectAlign) {
+		t.Fatal("empty buffer must be trivially aligned")
+	}
+}
+
+func TestAlignedPool(t *testing.T) {
+	var p AlignedPool
+	a := p.Get(2 * DirectAlign)
+	if len(a) != 2*DirectAlign || !IsAligned(a, DirectAlign) {
+		t.Fatalf("Get: len %d aligned %v", len(a), IsAligned(a, DirectAlign))
+	}
+	p.Put(a)
+	// A smaller request may reuse the pooled allocation; either way the
+	// result must be exactly sized and aligned.
+	b := p.Get(DirectAlign)
+	if len(b) != DirectAlign || !IsAligned(b, DirectAlign) {
+		t.Fatalf("Get after Put: len %d aligned %v", len(b), IsAligned(b, DirectAlign))
+	}
+	p.Put(b)
+	// Larger than anything pooled: fresh aligned allocation.
+	c := p.Get(8 * DirectAlign)
+	if len(c) != 8*DirectAlign || !IsAligned(c, DirectAlign) {
+		t.Fatalf("oversized Get: len %d aligned %v", len(c), IsAligned(c, DirectAlign))
+	}
+}

@@ -95,6 +95,12 @@ type (
 	FlakyDevice = storage.FlakyDevice
 	// FlakyOptions seeds and rates a FlakyDevice.
 	FlakyOptions = storage.FlakyOptions
+	// FileOptions configures CreateImageWith/OpenImageWith: direct
+	// (O_DIRECT) mode and the strict-alignment contract.
+	FileOptions = storage.FileOptions
+	// FileSyscalls is the file backend's syscall accounting, surfaced in
+	// Telemetry.File on file-backed systems.
+	FileSyscalls = storage.FileSyscalls
 	// FlightRecorder is the system's request-lifecycle flight recorder: a
 	// bounded, memory-only ring of blktrace-style causal events (Q/G/M/D/C
 	// plus the thin-pool stages). Obtain it with System.FlightRecorder();
@@ -152,6 +158,9 @@ var (
 	ErrBadPassword = core.ErrBadPassword
 	// ErrTooSmall reports a device below the minimum layout size.
 	ErrTooSmall = core.ErrTooSmall
+	// ErrDirectUnsupported reports a direct-I/O image open on a platform
+	// or file system without O_DIRECT (non-Linux builds, tmpfs).
+	ErrDirectUnsupported = storage.ErrDirectUnsupported
 )
 
 // Setup initializes a fresh MobiCeal device with a decoy password and zero
@@ -180,6 +189,23 @@ func CreateImage(path string, blockSize int, numBlocks uint64) (*storage.FileDev
 func OpenImage(path string, blockSize int) (*storage.FileDevice, error) {
 	return storage.OpenFileDevice(path, blockSize)
 }
+
+// CreateImageWith is CreateImage with explicit file-backend options
+// (direct I/O, strict buffer alignment).
+func CreateImageWith(path string, blockSize int, numBlocks uint64, opts FileOptions) (*storage.FileDevice, error) {
+	return storage.CreateFileDeviceWith(path, blockSize, numBlocks, opts)
+}
+
+// OpenImageWith is OpenImage with explicit file-backend options.
+func OpenImageWith(path string, blockSize int, opts FileOptions) (*storage.FileDevice, error) {
+	return storage.OpenFileDeviceWith(path, blockSize, opts)
+}
+
+// AlignedBuf allocates a page-aligned buffer of length n — the allocation
+// direct-mode images want for zero-copy transfers (misaligned buffers
+// still work, at the price of a bounce copy, unless FileOptions.
+// StrictAlign rejects them).
+func AlignedBuf(n int) []byte { return storage.AlignedBuf(n) }
 
 // NewPhone wraps a device as a simulated Android handset running MobiCeal
 // on the LG Nexus 4 profile. nominalBytes models the real userdata
